@@ -1,0 +1,74 @@
+// Ablation study (supporting Findings 2-3): which feature families carry the
+// predictive signal on each platform. Runs LightGBM with one feature group
+// removed at a time, plus single-group-only runs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/pipeline.h"
+#include "sim/fleet.h"
+
+namespace {
+
+using namespace memfp;
+
+std::vector<std::size_t> without_group(const features::FeatureSchema& schema,
+                                       features::FeatureGroup group) {
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema.def(i).group != group) keep.push_back(i);
+  }
+  return keep;
+}
+
+double run_f1(const sim::FleetTrace& fleet,
+              std::vector<std::size_t> active_features) {
+  core::PipelineConfig config;
+  config.active_features = std::move(active_features);
+  core::Experiment experiment(fleet, config);
+  return experiment.run(core::Algorithm::kLightGbm).f1;
+}
+
+}  // namespace
+
+int main() {
+  const features::FeatureSchema schema = features::FeatureSchema::standard();
+  const features::FeatureGroup groups[] = {
+      features::FeatureGroup::kTemporal, features::FeatureGroup::kSpatial,
+      features::FeatureGroup::kBitLevel, features::FeatureGroup::kStatic,
+      features::FeatureGroup::kWorkload};
+
+  for (const sim::ScenarioParams& scenario : sim::all_platform_scenarios()) {
+    const sim::FleetTrace fleet =
+        sim::simulate_fleet(scenario.scaled(0.6 * bench::bench_scale()));
+
+    TextTable table(std::string("Feature-group ablation (LightGBM F1) - ") +
+                    dram::platform_name(fleet.platform));
+    table.set_header({"configuration", "F1", "delta vs full"});
+
+    const double full = run_f1(fleet, {});
+    table.add_row({"all features", bench::fmt(full), "-"});
+    table.add_rule();
+    for (features::FeatureGroup group : groups) {
+      const double f1 = run_f1(fleet, without_group(schema, group));
+      table.add_row({std::string("without ") + feature_group_name(group),
+                     bench::fmt(f1), bench::fmt(f1 - full, 2)});
+    }
+    table.add_rule();
+    for (features::FeatureGroup group : groups) {
+      const double f1 = run_f1(fleet, schema.group_indices(group));
+      table.add_row({std::string("only ") + feature_group_name(group),
+                     bench::fmt(f1), bench::fmt(f1 - full, 2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("");
+    std::fflush(stdout);
+  }
+  std::puts(
+      "Expected shape: bit-level features matter most on Purley (the weak\n"
+      "single-chip ECC region is visible in DQ/beat maps); spatial\n"
+      "(multi-device) structure matters on Whitley/K920; static configuration\n"
+      "and workload metrics alone predict almost nothing — reproducing the\n"
+      "field observation [27] that workload plays a minor role next to CEs.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension ablation: how much do the RAS mitigations of Section II-C
+// actually buy, and what does failure prediction add on top? Compares
+// reactive page offlining against prediction-guided offlining ([34]) on the
+// Purley fleet.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/predictor.h"
+#include "sim/fleet.h"
+#include "sim/page_offline.h"
+
+int main() {
+  using namespace memfp;
+
+  const sim::FleetTrace fleet = sim::simulate_fleet(
+      sim::purley_scenario().scaled(0.5 * bench::bench_scale()));
+
+  TextTable table("Page offlining ablation - Intel Purley");
+  table.set_header({"policy", "rows retired", "CEs avoided", "UEs avoided",
+                    "prevention rate"});
+
+  // Reactive-only sweeps over the CE threshold.
+  for (int threshold : {4, 12, 32}) {
+    sim::PageOfflinePolicy policy;
+    policy.ce_threshold = threshold;
+    const sim::FleetOfflineReport report =
+        sim::evaluate_page_offlining(fleet, policy);
+    table.add_row({"reactive, threshold " + std::to_string(threshold),
+                   std::to_string(report.rows_offlined),
+                   std::to_string(report.ces_avoided),
+                   std::to_string(report.ues_avoided) + "/" +
+                       std::to_string(report.ues_total),
+                   format_percent(report.prevention_rate, 1)});
+  }
+
+  // Prediction-guided: train a predictor, retire hot rows on alarm.
+  core::MemoryFailurePredictor predictor(dram::Platform::kIntelPurley);
+  predictor.train(fleet);
+  sim::PageOfflinePolicy policy;
+  policy.ce_threshold = 12;
+  std::size_t ues_total = 0, ues_avoided = 0, rows = 0;
+  std::uint64_t ces_avoided = 0;
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    if (dimm.ces.empty()) continue;
+    // Find the predictor's first alarm by scanning at a 2-day cadence.
+    std::optional<SimTime> alarm;
+    const SimTime end = dimm.ue ? dimm.ue->time : fleet.horizon;
+    for (SimTime t = days(2); t < end; t += days(2)) {
+      if (predictor.predict(dimm, t)) {
+        alarm = t;
+        break;
+      }
+    }
+    const sim::OfflineOutcome outcome =
+        sim::apply_page_offlining(dimm, policy, alarm);
+    rows += static_cast<std::size_t>(outcome.rows_offlined);
+    ces_avoided += outcome.ces_avoided;
+    if (dimm.predictable_ue()) {
+      ++ues_total;
+      ues_avoided += outcome.ue_row_offlined;
+    }
+  }
+  table.add_row({"prediction-guided (threshold 12 + alarms)",
+                 std::to_string(rows), std::to_string(ces_avoided),
+                 std::to_string(ues_avoided) + "/" + std::to_string(ues_total),
+                 format_percent(ues_total == 0
+                                    ? 0.0
+                                    : static_cast<double>(ues_avoided) /
+                                          static_cast<double>(ues_total),
+                                1)});
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: reactive offlining alone catches only the UEs whose\n"
+      "row got hot first; adding the failure predictor's alarms retires the\n"
+      "right rows before the fatal pattern lands — the motivation for\n"
+      "prediction-guided RAS in the paper's Section II-C.");
+  return 0;
+}

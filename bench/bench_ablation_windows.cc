@@ -1,0 +1,73 @@
+// Ablation over the Fig 3 problem geometry: observation window dt_d, lead
+// time dt_l and prediction window dt_p (the paper fixes 5d / <=3h / 30d
+// after production tuning; this sweep shows the sensitivity).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/pipeline.h"
+#include "sim/fleet.h"
+
+namespace {
+
+using namespace memfp;
+
+core::Experiment::Result run_with_windows(const sim::FleetTrace& fleet,
+                                          SimDuration observation,
+                                          SimDuration lead,
+                                          SimDuration prediction) {
+  core::PipelineConfig config;
+  config.windows.observation = observation;
+  config.windows.lead = lead;
+  config.windows.prediction = prediction;
+  core::Experiment experiment(fleet, config);
+  return experiment.run(core::Algorithm::kLightGbm);
+}
+
+std::string duration_name(SimDuration d) {
+  if (d % kDay == 0) return std::to_string(d / kDay) + "d";
+  if (d % kHour == 0) return std::to_string(d / kHour) + "h";
+  return std::to_string(d / kMinute) + "m";
+}
+
+}  // namespace
+
+int main() {
+  const sim::FleetTrace fleet = sim::simulate_fleet(
+      sim::purley_scenario().scaled(0.6 * bench::bench_scale()));
+
+  TextTable table(
+      "Window ablation on Intel Purley (LightGBM), paper default 5d/3h/30d");
+  table.set_header({"dt_d (obs)", "dt_l (lead)", "dt_p (pred)", "Precision",
+                    "Recall", "F1", "VIRR"});
+
+  struct Case {
+    SimDuration observation, lead, prediction;
+  };
+  const Case cases[] = {
+      {days(5), hours(3), days(30)},  // paper default
+      {days(1), hours(3), days(30)},  // short memory
+      {days(10), hours(3), days(30)}, // long memory
+      {days(5), minutes(30), days(30)},
+      {days(5), hours(12), days(30)},
+      {days(5), hours(48), days(30)},  // demanding lead time
+      {days(5), hours(3), days(7)},    // tight validity
+      {days(5), hours(3), days(60)},   // loose validity
+  };
+  for (const Case& c : cases) {
+    const core::Experiment::Result result =
+        run_with_windows(fleet, c.observation, c.lead, c.prediction);
+    table.add_row({duration_name(c.observation), duration_name(c.lead),
+                   duration_name(c.prediction), bench::fmt(result.precision),
+                   bench::fmt(result.recall), bench::fmt(result.f1),
+                   bench::fmt(result.virr)});
+    std::fflush(stdout);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: F1 is robust for leads up to hours (predictable UEs\n"
+      "announce themselves days ahead) and degrades with multi-day lead\n"
+      "requirements or a very tight validity window; the paper's 5d/3h/30d\n"
+      "sits on the flat part of the curve.");
+  return 0;
+}

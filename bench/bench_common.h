@@ -1,0 +1,24 @@
+// Shared helpers for the reproduction benches: scale control and formatting.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "common/string_utils.h"
+
+namespace memfp::bench {
+
+/// Fleet scale factor, settable via MEMFP_BENCH_SCALE (default 1.0). Lets a
+/// quick smoke run (e.g. 0.2) exercise every bench cheaply.
+inline double bench_scale() {
+  const char* env = std::getenv("MEMFP_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double value = std::atof(env);
+  return value > 0.0 ? value : 1.0;
+}
+
+inline std::string fmt(double value, int precision = 2) {
+  return format_double(value, precision);
+}
+
+}  // namespace memfp::bench

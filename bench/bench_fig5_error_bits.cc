@@ -1,0 +1,45 @@
+// Regenerates paper Fig 5: UE rate versus the accumulated error-bit
+// statistics of a DIMM's CE history (error-DQ count, error-beat count, DQ
+// interval, beat interval) for the two Intel platforms, with the
+// highest-rate bucket flagged (the paper's red bar).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/fault_analysis.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace memfp;
+
+  const sim::ScenarioParams intel_scenarios[] = {sim::purley_scenario(),
+                                                 sim::whitley_scenario()};
+  for (const sim::ScenarioParams& scenario : intel_scenarios) {
+    const sim::FleetTrace fleet =
+        sim::simulate_fleet(scenario.scaled(bench::bench_scale()));
+    const std::vector<core::BitStatSeries> all_series =
+        core::bit_pattern_ue_rates(fleet);
+
+    for (const core::BitStatSeries& series : all_series) {
+      TextTable table(std::string("Fig 5: ") +
+                      dram::platform_name(fleet.platform) + " - UE rate by " +
+                      series.stat);
+      table.set_header({series.stat, "DIMMs", "UE rate", "peak"});
+      const int peak = series.peak_value(10);
+      for (std::size_t i = 0; i < series.value.size(); ++i) {
+        if (series.dimms[i] == 0) continue;
+        table.add_row({std::to_string(series.value[i]),
+                       std::to_string(series.dimms[i]),
+                       format_percent(series.ue_rate[i], 1),
+                       series.value[i] == peak ? "<== highest" : ""});
+      }
+      std::fputs(table.render().c_str(), stdout);
+    }
+    std::puts("");
+  }
+  std::puts(
+      "Paper reference (Finding 3): Purley peaks at 2 error DQs / 2 error\n"
+      "beats with a 4-beat interval; Whitley peaks at 4 error DQs / 5 error\n"
+      "beats and its intervals carry little signal.");
+  return 0;
+}

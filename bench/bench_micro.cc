@@ -1,0 +1,172 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: ECC
+// classification, fault pattern sampling, DIMM simulation, feature
+// extraction, tree/GBDT training and inference, and the autodiff forward
+// pass.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "dram/ecc.h"
+#include "dram/fault.h"
+#include "features/extractor.h"
+#include "ml/autodiff.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "sim/dimm_sim.h"
+#include "sim/fleet.h"
+
+namespace {
+
+using namespace memfp;
+
+const dram::Geometry kGeometry = dram::Geometry::ddr4_x4();
+
+dram::Fault bench_fault() {
+  dram::Fault fault;
+  fault.mode = dram::FaultMode::kRow;
+  fault.scope = dram::DeviceScope::kSingleDevice;
+  fault.anchor = {0, 3, 5, 12345, 321};
+  fault.devices = {3};
+  fault.escalating = true;
+  return fault;
+}
+
+void BM_EccClassify(benchmark::State& state) {
+  const auto ecc = dram::make_platform_ecc(dram::Platform::kIntelPurley);
+  const dram::FaultPatternModel model(dram::Platform::kIntelPurley, kGeometry);
+  Rng rng(1);
+  std::vector<dram::ErrorPattern> patterns;
+  for (int i = 0; i < 256; ++i) {
+    patterns.push_back(model.sample(bench_fault(), 0.9, rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ecc->classify(patterns[i++ % patterns.size()], kGeometry));
+  }
+}
+BENCHMARK(BM_EccClassify);
+
+void BM_FaultPatternSample(benchmark::State& state) {
+  const dram::FaultPatternModel model(dram::Platform::kIntelWhitley,
+                                      kGeometry);
+  dram::Fault fault = bench_fault();
+  fault.scope = dram::DeviceScope::kMultiDevice;
+  fault.devices = {3, 9};
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample(fault, 0.8, rng));
+  }
+}
+BENCHMARK(BM_FaultPatternSample);
+
+void BM_DimmSimulation(benchmark::State& state) {
+  sim::DimmSimParams params;
+  params.horizon = days(90);
+  const sim::DimmSimulator simulator(dram::Platform::kIntelPurley, params);
+  dram::Fault fault = bench_fault();
+  fault.escalating = false;
+  fault.ce_rate_per_hour = 0.5;
+  Rng rng(3);
+  for (auto _ : state) {
+    Rng run_rng = rng.fork();
+    benchmark::DoNotOptimize(
+        simulator.run(0, 0, dram::DimmConfig{}, {fault}, run_rng));
+  }
+}
+BENCHMARK(BM_DimmSimulation);
+
+const sim::FleetTrace& feature_fleet() {
+  static const sim::FleetTrace fleet =
+      sim::simulate_fleet(sim::purley_scenario().scaled(0.02));
+  return fleet;
+}
+
+void BM_FeatureExtractionPerDimm(benchmark::State& state) {
+  const features::FeatureExtractor extractor;
+  const sim::FleetTrace& fleet = feature_fleet();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const sim::DimmTrace& dimm = fleet.dimms[i++ % fleet.dimms.size()];
+    benchmark::DoNotOptimize(extractor.extract(dimm, fleet.horizon));
+  }
+}
+BENCHMARK(BM_FeatureExtractionPerDimm);
+
+ml::Dataset bench_dataset(std::size_t rows) {
+  Rng rng(4);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<float> row(30);
+    for (float& v : row) v = static_cast<float>(rng.normal());
+    d.x.push_row(row);
+    d.y.push_back(rng.bernoulli(0.2) ? 1 : 0);
+    d.weight.push_back(1.0f);
+    d.dimm.push_back(static_cast<dram::DimmId>(i));
+    d.time.push_back(0);
+  }
+  return d;
+}
+
+void BM_GbdtTrain(benchmark::State& state) {
+  const ml::Dataset d = bench_dataset(2000);
+  ml::GbdtParams params;
+  params.max_rounds = 30;
+  params.early_stopping_rounds = 0;
+  for (auto _ : state) {
+    Rng rng(5);
+    ml::Gbdt model(params);
+    model.fit(d, rng);
+    benchmark::DoNotOptimize(model.rounds_used());
+  }
+}
+BENCHMARK(BM_GbdtTrain)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  const ml::Dataset d = bench_dataset(2000);
+  ml::GbdtParams params;
+  params.max_rounds = 100;
+  params.early_stopping_rounds = 0;
+  ml::Gbdt model(params);
+  Rng rng(6);
+  model.fit(d, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(d.x.row(i++ % d.size())));
+  }
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_ForestTrain(benchmark::State& state) {
+  const ml::Dataset d = bench_dataset(2000);
+  ml::RandomForestParams params;
+  params.trees = 30;
+  for (auto _ : state) {
+    Rng rng(7);
+    ml::RandomForest model(params);
+    model.fit(d, rng);
+    benchmark::DoNotOptimize(model.trees().size());
+  }
+}
+BENCHMARK(BM_ForestTrain)->Unit(benchmark::kMillisecond);
+
+void BM_AttentionForward(benchmark::State& state) {
+  Rng rng(8);
+  const auto tokens = 51, d_model = 16;
+  ml::Tensor q = ml::Tensor::random_uniform(4 * tokens, d_model, 0.5f, rng);
+  for (auto _ : state) {
+    ml::Graph graph;
+    const int qi = graph.leaf(q, false);
+    benchmark::DoNotOptimize(graph.attention(qi, qi, qi, tokens, 2));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Unit(benchmark::kMicrosecond);
+
+void BM_FleetSimulation(benchmark::State& state) {
+  const sim::ScenarioParams scenario = sim::purley_scenario().scaled(0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_fleet(scenario));
+  }
+}
+BENCHMARK(BM_FleetSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Cross-architecture fault study (paper Section V): reproduce the analysis
+// pipeline behind Findings 1-3 on all three platforms, narrated.
+//
+//   $ ./build/examples/cross_platform_study
+#include <cstdio>
+
+#include "common/string_utils.h"
+#include "common/table.h"
+#include "core/fault_analysis.h"
+#include "dram/ecc.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace memfp;
+
+  std::puts("== ECC correction boundaries per platform ==");
+  {
+    const dram::Geometry g = dram::Geometry::ddr4_x4();
+    // The single-chip pattern of Li et al. [7]: 2 DQs, 2 beats, span 4.
+    dram::ErrorPattern weak_region({{0, 0}, {1, 4}});
+    // A narrow cross-device error.
+    dram::ErrorPattern cross_narrow({{0, 0}, {4, 0}});
+    TextTable table;
+    table.set_header({"pattern", "Purley", "Whitley", "K920"});
+    const auto classify = [&](const dram::ErrorPattern& p,
+                              dram::Platform platform) {
+      return std::string(
+          dram::verdict_name(dram::make_platform_ecc(platform)->classify(p, g)));
+    };
+    table.add_row({"single-chip 2DQ/2beat/span4",
+                   classify(weak_region, dram::Platform::kIntelPurley),
+                   classify(weak_region, dram::Platform::kIntelWhitley),
+                   classify(weak_region, dram::Platform::kK920)});
+    table.add_row({"narrow cross-device",
+                   classify(cross_narrow, dram::Platform::kIntelPurley),
+                   classify(cross_narrow, dram::Platform::kIntelWhitley),
+                   classify(cross_narrow, dram::Platform::kK920)});
+    std::fputs(table.render().c_str(), stdout);
+    std::puts(
+        "-> the same error pattern is fatal on one platform and harmless on\n"
+        "   another; this is why failure prediction must be per-platform.\n");
+  }
+
+  for (const sim::ScenarioParams& scenario : sim::all_platform_scenarios()) {
+    const sim::FleetTrace fleet = sim::simulate_fleet(scenario.scaled(0.4));
+    std::printf("== %s ==\n", dram::platform_name(fleet.platform));
+    std::printf(
+        "Finding 1  %zu DIMMs with CEs, %zu with UEs (%s predictable)\n",
+        fleet.dimms_with_ce(), fleet.dimms_with_ue(),
+        format_percent(static_cast<double>(fleet.predictable_ue_dimms()) /
+                           std::max<std::size_t>(1, fleet.dimms_with_ue()),
+                       0)
+            .c_str());
+
+    const core::UeComposition comp = core::ue_device_composition(fleet);
+    std::printf("Finding 2  UE population: %s single-device / %s multi-device\n",
+                format_percent(comp.single_device_share, 0).c_str(),
+                format_percent(comp.multi_device_share, 0).c_str());
+
+    const auto series = core::bit_pattern_ue_rates(fleet);
+    std::printf(
+        "Finding 3  UE-risk peaks: %d error DQs, %d error beats, "
+        "beat interval %d\n\n",
+        series[0].peak_value(10), series[1].peak_value(10),
+        series[3].peak_value(10));
+  }
+
+  std::puts(
+      "Paper shapes: Purley single-device dominant with the 2/2/4 bit\n"
+      "signature; Whitley & K920 multi-device dominant, Whitley peaking at\n"
+      "wide (4 DQ / 5 beat) patterns.");
+  return 0;
+}

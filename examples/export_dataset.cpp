@@ -1,0 +1,106 @@
+// Dataset export: materialize the synthetic fleet telemetry and the labeled
+// feature samples as CSV files, for analysis outside this library (pandas,
+// spreadsheets, other ML stacks).
+//
+//   $ ./build/examples/export_dataset [output_dir]
+//
+// Writes:
+//   <dir>/<platform>_ce_log.csv   one row per logged CE (time, DIMM,
+//                                 coordinates, DQ/beat stats)
+//   <dir>/<platform>_dimms.csv    one row per DIMM (config, outcome)
+//   <dir>/<platform>_samples.csv  one row per labeled feature sample
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+#include "common/string_utils.h"
+#include "features/extractor.h"
+#include "sim/fleet.h"
+
+namespace {
+
+using namespace memfp;
+
+std::string platform_slug(dram::Platform platform) {
+  switch (platform) {
+    case dram::Platform::kIntelPurley:
+      return "purley";
+    case dram::Platform::kIntelWhitley:
+      return "whitley";
+    case dram::Platform::kK920:
+      return "k920";
+  }
+  return "unknown";
+}
+
+void export_fleet(const sim::FleetTrace& fleet, const std::string& dir) {
+  const std::string slug = platform_slug(fleet.platform);
+
+  CsvWriter dimms({"dimm_id", "server_id", "manufacturer", "process",
+                   "frequency_mhz", "capacity_gib", "logged_ces",
+                   "storm_events", "outcome", "ue_day"});
+  CsvWriter ces({"dimm_id", "time_s", "rank", "device", "bank", "row",
+                 "column", "bits", "dq_count", "beat_count", "beat_span"});
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    const std::string outcome = dimm.predictable_ue() ? "predictable_ue"
+                                : dimm.sudden_ue()    ? "sudden_ue"
+                                                      : "healthy";
+    dimms.add_row({std::to_string(dimm.id), std::to_string(dimm.server_id),
+                   dram::manufacturer_name(dimm.config.manufacturer),
+                   dram::process_name(dimm.config.process),
+                   std::to_string(dimm.config.frequency_mhz),
+                   std::to_string(dimm.config.capacity_gib),
+                   std::to_string(dimm.ces.size()),
+                   std::to_string(dimm.events.size()), outcome,
+                   dimm.ue ? std::to_string(dimm.ue->time / kDay) : ""});
+    for (const dram::CeEvent& ce : dimm.ces) {
+      ces.add_row({std::to_string(dimm.id), std::to_string(ce.time),
+                   std::to_string(ce.coord.rank),
+                   std::to_string(ce.coord.device),
+                   std::to_string(ce.coord.bank),
+                   std::to_string(ce.coord.row),
+                   std::to_string(ce.coord.column),
+                   std::to_string(ce.pattern.bit_count()),
+                   std::to_string(ce.pattern.dq_count()),
+                   std::to_string(ce.pattern.beat_count()),
+                   std::to_string(ce.pattern.beat_span())});
+    }
+  }
+  dimms.save(dir + "/" + slug + "_dimms.csv");
+  ces.save(dir + "/" + slug + "_ce_log.csv");
+
+  // Labeled samples with the full feature schema as the header.
+  const features::FeatureExtractor extractor;
+  std::vector<std::string> header{"dimm_id", "time_s", "label"};
+  for (const features::FeatureDef& def : extractor.schema().defs()) {
+    header.push_back(def.name);
+  }
+  CsvWriter samples(std::move(header));
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    for (const features::Sample& sample :
+         extractor.extract(dimm, fleet.horizon)) {
+      std::vector<std::string> row{std::to_string(sample.dimm),
+                                   std::to_string(sample.time),
+                                   std::to_string(sample.label)};
+      for (float value : sample.features) {
+        row.push_back(format_double(value, 6));
+      }
+      samples.add_row(std::move(row));
+    }
+  }
+  samples.save(dir + "/" + slug + "_samples.csv");
+  std::printf("%s: %zu DIMMs, %zu CE rows, %zu samples -> %s/%s_*.csv\n",
+              dram::platform_name(fleet.platform), fleet.dimms.size(),
+              ces.rows(), samples.rows(), dir.c_str(), slug.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  // Small fleets: the export is meant for inspection, not bulk training.
+  for (const sim::ScenarioParams& scenario : sim::all_platform_scenarios()) {
+    export_fleet(sim::simulate_fleet(scenario.scaled(0.05)), dir);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// MLOps walkthrough (paper Fig 6): every stage of the production lifecycle
+// exercised once — data pipeline, feature store, CI/CD training with the
+// benchmark gate, online serving, alarms, and monitoring with feedback.
+//
+//   $ ./build/examples/mlops_lifecycle
+#include <cstdio>
+
+#include "common/logging.h"
+#include "mlops/cicd.h"
+#include "mlops/online_service.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace memfp;
+  set_log_level(LogLevel::kInfo);
+
+  // --- Data Pipeline: BMC telemetry lands in the lake ---
+  const sim::FleetTrace fleet =
+      sim::simulate_fleet(sim::purley_scenario().scaled(0.25));
+  mlops::DataLake lake;
+  lake.ingest("bmc/purley/2023H1", fleet);
+  std::printf("[data] %zu raw records in partition bmc/purley/2023H1\n",
+              lake.record_count());
+
+  // --- Feature Store: catalog + training/serving consistency ---
+  mlops::FeatureStore store;
+  std::printf("[features] catalog v%lld with %zu features\n",
+              static_cast<long long>(store.catalog().at("version").as_int()),
+              store.schema().size());
+  const sim::DimmTrace& probe = fleet.dimms.front();
+  std::printf("[features] training/serving consistency on DIMM %u: %s\n",
+              probe.id,
+              store.check_consistency(probe, days(100), fleet.horizon)
+                  ? "OK"
+                  : "DIVERGED");
+
+  // --- CI/CD: train, benchmark, register, promote through the gate ---
+  mlops::ModelRegistry registry;
+  mlops::TrainingPipelineConfig config;
+  config.algorithm = core::Algorithm::kLightGbm;
+  const mlops::TrainingRunReport run =
+      run_training_pipeline(lake, "bmc/purley/2023H1", registry, config);
+  std::printf(
+      "[cicd] v%d %s: benchmark F1 %.2f, VIRR %.2f -> %s\n", run.version,
+      run.evaluation.algorithm.c_str(), run.evaluation.f1,
+      run.evaluation.virr, run.promoted ? "promoted to production" : "held");
+
+  // --- Online Prediction + Cloud Service: stream, alarm, mitigate ---
+  mlops::AlarmSystem alarms;
+  mlops::Monitoring monitoring;
+  monitoring.record_ingest(lake.record_count());
+  mlops::OnlinePredictionService service(
+      registry, dram::Platform::kIntelPurley, store, alarms, monitoring);
+  service.run_over(fleet, days(30), days(260), days(3));
+  std::printf("[online] %zu predictions served, %zu alarms raised\n",
+              monitoring.predictions(), monitoring.alarms());
+
+  const mlops::MitigationReport mitigation =
+      mlops::account_mitigations(fleet, alarms, store.windows());
+  std::printf(
+      "[cloud] VM interruptions: %.0f without prediction -> %.0f with "
+      "(realized VIRR %.2f)\n",
+      mitigation.interruptions_without_prediction,
+      mitigation.interruptions_with_prediction, mitigation.realized_virr);
+
+  // --- Monitoring: feedback loop and dashboard ---
+  service.apply_feedback(fleet);
+  std::fputs(monitoring.dashboard().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: simulate a datacenter fleet's memory telemetry, train a
+// failure predictor, and use it.
+//
+//   $ ./build/examples/quickstart
+//
+// This walks the minimal public API path:
+//   1. sim::simulate_fleet     - synthetic production telemetry
+//   2. core::MemoryFailurePredictor - train on the fleet
+//   3. predictor.score / predict    - probability and alarm for any DIMM
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/predictor.h"
+#include "sim/fleet.h"
+
+int main() {
+  using namespace memfp;
+  set_log_level(LogLevel::kInfo);
+
+  // 1. A (scaled-down) Intel Purley fleet observed for ~9 months. In a real
+  //    deployment this is your BMC/MCE telemetry in the same schema.
+  const sim::ScenarioParams scenario = sim::purley_scenario().scaled(0.25);
+  const sim::FleetTrace fleet = sim::simulate_fleet(scenario);
+  std::printf("fleet: %zu observed DIMMs, %zu reached a UE\n",
+              fleet.dimms.size(), fleet.dimms_with_ue());
+
+  // 2. Train a LightGBM-style predictor with the paper's window geometry
+  //    (5-day observation, 3-hour lead, 30-day prediction window).
+  core::MemoryFailurePredictor predictor(dram::Platform::kIntelPurley);
+  predictor.train(fleet);
+  std::printf("trained; alarm threshold = %.3f\n", predictor.threshold());
+
+  // 3. Score DIMMs mid-life. Failing DIMMs should out-score healthy ones.
+  const SimTime now = days(150);
+  double failing_best = 0.0, healthy_best = 0.0;
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    if (dimm.ces.empty()) continue;
+    if (dimm.ue && dimm.ue->time > now) {
+      failing_best = std::max(failing_best, predictor.score(dimm, now));
+    } else if (!dimm.ue) {
+      healthy_best = std::max(healthy_best, predictor.score(dimm, now));
+    }
+  }
+  std::printf("day %lld: best score among DIMMs that later fail = %.3f\n",
+              static_cast<long long>(now / kDay), failing_best);
+  std::printf("         best score among DIMMs that never fail  = %.3f\n",
+              healthy_best);
+
+  // Alarm decision for one concrete DIMM.
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    const bool active_now =
+        !dimm.ces.empty() && dimm.ces.front().time <= now &&
+        dimm.ces.back().time > now - days(5);
+    if (dimm.predictable_ue() && dimm.ue->time > now + days(1) && active_now) {
+      std::printf(
+          "DIMM %u (UE on day %lld): score at day %lld = %.3f -> %s\n",
+          dimm.id, static_cast<long long>(dimm.ue->time / kDay),
+          static_cast<long long>(now / kDay), predictor.score(dimm, now),
+          predictor.predict(dimm, now) ? "ALARM raised" : "no alarm yet");
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "baseline/risky_ce_pattern.h"
+
+#include <unordered_map>
+
+namespace memfp::baseline {
+namespace {
+
+/// Accumulated per-device error-bit map of a CE prefix.
+class DeviceMaps {
+ public:
+  explicit DeviceMaps(const dram::Geometry& geometry) : geometry_(geometry) {}
+
+  void add(const dram::CeEvent& ce) {
+    for (const dram::ErrorBit& bit : ce.pattern.bits()) {
+      per_device_[geometry_.device_of_dq(bit.dq)].add(bit);
+    }
+    ++ces_;
+  }
+
+  bool any_matches(const PatternRule& rule) const {
+    for (const auto& [device, pattern] : per_device_) {
+      if (rule.matches(pattern, ces_)) return true;
+    }
+    return false;
+  }
+
+ private:
+  dram::Geometry geometry_;
+  std::unordered_map<int, dram::ErrorPattern> per_device_;
+  std::uint64_t ces_ = 0;
+};
+
+std::optional<SimTime> first_alarm_with_rule(const sim::DimmTrace& trace,
+                                             const PatternRule& rule) {
+  DeviceMaps maps(trace.config.geometry());
+  for (const dram::CeEvent& ce : trace.ces) {
+    maps.add(ce);
+    if (maps.any_matches(rule)) return ce.time;
+  }
+  return std::nullopt;
+}
+
+/// Candidate rule grid: the plausible neighbourhood of the published
+/// Skylake/Cascade Lake risky patterns.
+std::vector<PatternRule> candidate_rules() {
+  std::vector<PatternRule> rules;
+  for (int dq : {1, 2, 3}) {
+    for (int beats : {1, 2, 3}) {
+      for (int span : {0, 2, 4}) {
+        for (int ces : {1, 8, 32}) {
+          rules.push_back({dq, beats, span, ces});
+        }
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+bool PatternRule::matches(const dram::ErrorPattern& device_pattern,
+                          std::uint64_t lifetime_ces) const {
+  return static_cast<int>(lifetime_ces) >= min_ces &&
+         device_pattern.dq_count() >= min_dq &&
+         device_pattern.beat_count() >= min_beats &&
+         device_pattern.beat_span() >= min_beat_span;
+}
+
+RiskyCePattern::RiskyCePattern(features::PredictionWindows windows)
+    : windows_(windows) {}
+
+void RiskyCePattern::fit(const std::vector<const sim::DimmTrace*>& train,
+                         SimTime horizon) {
+  rules_.clear();
+  (void)horizon;
+  // Partition training DIMMs by manufacturer.
+  std::map<dram::Manufacturer, std::vector<const sim::DimmTrace*>> groups;
+  for (const sim::DimmTrace* trace : train) {
+    groups[trace->config.manufacturer].push_back(trace);
+  }
+  for (const auto& [manufacturer, traces] : groups) {
+    double best_f1 = -1.0;
+    PatternRule best;
+    for (const PatternRule& rule : candidate_rules()) {
+      std::size_t tp = 0, fp = 0, fn = 0;
+      for (const sim::DimmTrace* trace : traces) {
+        const std::optional<SimTime> alarm = first_alarm_with_rule(*trace, rule);
+        const bool is_positive = trace->predictable_ue();
+        if (is_positive) {
+          const SimTime ue = trace->ue->time;
+          const bool timely = alarm && ue - *alarm >= windows_.lead &&
+                              ue - *alarm <= windows_.lead + windows_.prediction;
+          if (timely) ++tp;
+          else ++fn;
+          if (alarm && !timely) ++fp;  // fired outside the valid window
+        } else if (alarm) {
+          ++fp;
+        }
+      }
+      const double precision =
+          tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+      const double recall =
+          tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+      const double f1 = precision + recall == 0.0
+                            ? 0.0
+                            : 2.0 * precision * recall / (precision + recall);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best = rule;
+      }
+    }
+    rules_[manufacturer] = best;
+  }
+}
+
+std::optional<SimTime> RiskyCePattern::first_alarm(
+    const sim::DimmTrace& trace) const {
+  const auto it = rules_.find(trace.config.manufacturer);
+  if (it == rules_.end()) return std::nullopt;
+  return first_alarm_with_rule(trace, it->second);
+}
+
+}  // namespace memfp::baseline

@@ -1,0 +1,54 @@
+// Reproduction of the rule-based "Risky CE Pattern" predictor of Li et al.
+// (SC'22, [7] in the paper): per-manufacturer risky error-bit patterns,
+// mined from a training fleet, that flag a DIMM as failure-prone the moment
+// its accumulated per-device DQ/beat error map matches the rule.
+//
+// The original is defined against the ECC of Intel Skylake/Cascade Lake
+// (Purley). Exactly as in the paper's Table II, it has no counterpart for
+// Whitley or K920 — the pipeline reports "X" there.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "dram/geometry.h"
+#include "features/windows.h"
+#include "sim/trace.h"
+
+namespace memfp::baseline {
+
+/// One candidate rule over a device's accumulated error-bit map.
+struct PatternRule {
+  int min_dq = 2;
+  int min_beats = 2;
+  int min_beat_span = 4;
+  int min_ces = 1;  ///< lifetime CE count gate
+
+  bool matches(const dram::ErrorPattern& device_pattern,
+               std::uint64_t lifetime_ces) const;
+};
+
+class RiskyCePattern {
+ public:
+  explicit RiskyCePattern(features::PredictionWindows windows = {});
+
+  /// Mines the best rule per manufacturer on training traces (selected by
+  /// DIMM-level F1 with the alarm-lead semantics of Section IV).
+  void fit(const std::vector<const sim::DimmTrace*>& train, SimTime horizon);
+
+  /// First time the DIMM's CE history matches its manufacturer's rule
+  /// (checked after every CE); nullopt when it never fires.
+  std::optional<SimTime> first_alarm(const sim::DimmTrace& trace) const;
+
+  const std::map<dram::Manufacturer, PatternRule>& rules() const {
+    return rules_;
+  }
+
+ private:
+  features::PredictionWindows windows_;
+  std::map<dram::Manufacturer, PatternRule> rules_;
+};
+
+}  // namespace memfp::baseline

@@ -1,0 +1,43 @@
+// CSV reading/writing for dataset export and bench output.
+//
+// Supports RFC-4180 quoting on write; the reader handles quoted fields with
+// embedded separators/quotes, which is all the project's own files use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memfp {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_string() const;
+  /// Writes to the given path; throws std::runtime_error on IO failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by name; throws std::out_of_range when missing.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses CSV text (first line is the header).
+/// Throws std::runtime_error on malformed quoting or ragged rows.
+CsvTable parse_csv(const std::string& text);
+
+/// Loads and parses a CSV file; throws std::runtime_error on IO failure.
+CsvTable load_csv(const std::string& path);
+
+}  // namespace memfp

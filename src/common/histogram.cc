@@ -1,0 +1,65 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace memfp {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double value, double weight) {
+  std::size_t bin = 0;
+  if (value > lo_) {
+    bin = std::min(static_cast<std::size_t>((value - lo_) / width_),
+                   counts_.size() - 1);
+  }
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0.0 ? 0.0 : counts_[bin] / total_;
+}
+
+void RatioByCategory::add(const std::string& category, bool hit) {
+  Cell& cell = cells_[category];
+  ++cell.trials;
+  if (hit) ++cell.hits;
+}
+
+double RatioByCategory::rate(const std::string& category) const {
+  const auto it = cells_.find(category);
+  if (it == cells_.end() || it->second.trials == 0) return 0.0;
+  return static_cast<double>(it->second.hits) /
+         static_cast<double>(it->second.trials);
+}
+
+std::uint64_t RatioByCategory::trials(const std::string& category) const {
+  const auto it = cells_.find(category);
+  return it == cells_.end() ? 0 : it->second.trials;
+}
+
+std::uint64_t RatioByCategory::hits(const std::string& category) const {
+  const auto it = cells_.find(category);
+  return it == cells_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> RatioByCategory::categories() const {
+  std::vector<std::string> keys;
+  keys.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace memfp

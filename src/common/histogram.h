@@ -1,0 +1,56 @@
+// Fixed-width and categorical histograms used by the fault analysis
+// (Fig 4 / Fig 5 aggregations) and by monitoring dashboards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memfp {
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double count(std::size_t bin) const { return counts_[bin]; }
+  double total() const { return total_; }
+  /// Fraction of mass in the bin; 0 when the histogram is empty.
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Ratio tracker keyed by a discrete category: counts trials and "hits"
+/// (e.g. DIMMs per fault mode, and how many of them reached a UE).
+class RatioByCategory {
+ public:
+  void add(const std::string& category, bool hit);
+
+  /// hits/trials for the category; 0 when unseen.
+  double rate(const std::string& category) const;
+  std::uint64_t trials(const std::string& category) const;
+  std::uint64_t hits(const std::string& category) const;
+  std::vector<std::string> categories() const;
+
+ private:
+  struct Cell {
+    std::uint64_t trials = 0;
+    std::uint64_t hits = 0;
+  };
+  std::map<std::string, Cell> cells_;
+};
+
+}  // namespace memfp

@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace memfp {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& message) {
+  std::ostream& out =
+      level >= LogLevel::kWarning ? std::cerr : std::clog;
+  out << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace memfp

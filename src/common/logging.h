@@ -1,0 +1,52 @@
+// Minimal leveled logger for library diagnostics.
+//
+// Defaults to Warning so tests and benches stay quiet; examples raise the
+// level to Info to narrate their progress. Not thread-safe by design: the
+// library is single-threaded per pipeline, and benches own their process.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace memfp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global threshold; records below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define MEMFP_LOG(level)                                \
+  if (static_cast<int>(level) < static_cast<int>(::memfp::log_level())) { \
+  } else                                                \
+    ::memfp::detail::LogMessage(level)
+
+#define MEMFP_DEBUG MEMFP_LOG(::memfp::LogLevel::kDebug)
+#define MEMFP_INFO MEMFP_LOG(::memfp::LogLevel::kInfo)
+#define MEMFP_WARN MEMFP_LOG(::memfp::LogLevel::kWarning)
+#define MEMFP_ERROR MEMFP_LOG(::memfp::LogLevel::kError)
+
+}  // namespace memfp

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator, the ML training loops and the benches all need reproducible
+// randomness that is stable across platforms and standard-library versions,
+// so we implement xoshiro256** (Blackman & Vigna) plus the distributions the
+// project needs instead of relying on <random>'s unspecified algorithms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace memfp {
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG with splitmix64 seeding.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Exponential with given rate (mean 1/rate). Precondition: rate > 0.
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p);
+
+  /// Log-normal with the given underlying normal parameters.
+  double lognormal(double mu, double sigma);
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Precondition: weights non-empty with a positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace memfp

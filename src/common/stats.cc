@@ -1,0 +1,123 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace memfp {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats.stddev();
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double population_stability_index(const std::vector<double>& expected,
+                                  const std::vector<double>& actual,
+                                  std::size_t bins) {
+  if (expected.empty() || actual.empty() || bins == 0) return 0.0;
+  double lo = expected.front(), hi = expected.front();
+  for (double v : expected) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : actual) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<double> pe(bins, 0.0), pa(bins, 0.0);
+  auto bin_of = [&](double v) {
+    auto b = static_cast<std::size_t>((v - lo) / width);
+    return std::min(b, bins - 1);
+  };
+  for (double v : expected) pe[bin_of(v)] += 1.0;
+  for (double v : actual) pa[bin_of(v)] += 1.0;
+  // Laplace smoothing keeps empty bins from producing infinities.
+  const double ne = static_cast<double>(expected.size()) +
+                    static_cast<double>(bins) * 1e-4;
+  const double na = static_cast<double>(actual.size()) +
+                    static_cast<double>(bins) * 1e-4;
+  double psi = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double e = (pe[b] + 1e-4) / ne;
+    const double a = (pa[b] + 1e-4) / na;
+    psi += (a - e) * std::log(a / e);
+  }
+  return psi;
+}
+
+}  // namespace memfp

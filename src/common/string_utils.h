@@ -1,0 +1,21 @@
+// Small string helpers shared by the CSV/JSON codecs and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memfp {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string_view trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Fixed-precision formatting (printf "%.*f").
+std::string format_double(double value, int precision);
+
+/// "12.3%" style percent formatting of a ratio in [0,1].
+std::string format_percent(double ratio, int precision = 1);
+
+}  // namespace memfp

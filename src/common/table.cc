@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+namespace memfp {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back({false, std::move(row)});
+}
+
+void TextTable::add_rule() { rows_.push_back({true, {}}); }
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.cells.size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) {
+    if (!row.rule) measure(row.cells);
+  }
+
+  auto render_rule = [&](std::string& out) {
+    out += '+';
+    for (std::size_t w : widths) {
+      out.append(w + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+  };
+  auto render_cells = [&](std::string& out,
+                          const std::vector<std::string>& cells) {
+    out += '|';
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out += ' ';
+      out += cell;
+      out.append(widths[i] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  render_rule(out);
+  if (!header_.empty()) {
+    render_cells(out, header_);
+    render_rule(out);
+  }
+  for (const auto& row : rows_) {
+    if (row.rule) {
+      render_rule(out);
+    } else {
+      render_cells(out, row.cells);
+    }
+  }
+  render_rule(out);
+  return out;
+}
+
+}  // namespace memfp

@@ -1,0 +1,31 @@
+// ASCII table renderer for bench/report output: prints the same row/column
+// layout as the paper's tables and figure panels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memfp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace memfp

@@ -1,0 +1,27 @@
+// Simulation time: integral seconds since the start of the simulated epoch.
+//
+// The whole library runs on simulated time, never on the wall clock, so every
+// run is bit-for-bit reproducible. Helpers below express the paper's window
+// parameters (minutes/hours/days) as SimTime durations.
+#pragma once
+
+#include <cstdint>
+
+namespace memfp {
+
+/// Seconds since the simulated epoch (t = 0 is fleet deployment).
+using SimTime = std::int64_t;
+
+/// Durations, also in seconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kSecond = 1;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+constexpr SimDuration minutes(std::int64_t n) { return n * kMinute; }
+constexpr SimDuration hours(std::int64_t n) { return n * kHour; }
+constexpr SimDuration days(std::int64_t n) { return n * kDay; }
+
+}  // namespace memfp

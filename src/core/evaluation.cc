@@ -1,0 +1,95 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace memfp::core {
+
+ml::Confusion dimm_confusion(const std::vector<AlarmOutcome>& outcomes,
+                             const features::PredictionWindows& windows) {
+  ml::Confusion c;
+  for (const AlarmOutcome& outcome : outcomes) {
+    if (outcome.positive) {
+      const bool timely =
+          outcome.alarm &&
+          outcome.ue_time - *outcome.alarm >= windows.lead &&
+          outcome.ue_time - *outcome.alarm <= windows.lead + windows.prediction;
+      if (timely) {
+        ++c.tp;
+      } else {
+        ++c.fn;
+        // An alarm outside the valid window also cost a (useless) migration.
+        if (outcome.alarm) ++c.fp;
+      }
+    } else if (outcome.alarm) {
+      ++c.fp;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+std::optional<SimTime> ScoredStream::first_alarm(double threshold) const {
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= threshold) return times[i];
+  }
+  return std::nullopt;
+}
+
+double ScoredStream::max_score() const {
+  double best = 0.0;
+  for (double s : scores) best = std::max(best, s);
+  return best;
+}
+
+double tune_threshold(const std::vector<ScoredStream>& streams,
+                      const std::vector<AlarmOutcome>& outcomes_template,
+                      const features::PredictionWindows& windows) {
+  assert(streams.size() == outcomes_template.size());
+  // Candidate thresholds: the distinct per-DIMM maxima (every alarm-set
+  // change happens at one of them), probed just below each value.
+  std::vector<double> candidates;
+  for (const ScoredStream& stream : streams) {
+    const double m = stream.max_score();
+    if (m > 0.0) candidates.push_back(m);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates.empty()) return 0.5;
+
+  std::vector<AlarmOutcome> outcomes = outcomes_template;
+  std::vector<std::pair<double, double>> curve;  // (threshold, smoothed F1)
+  double best_f1 = -1.0;
+  for (double candidate : candidates) {
+    const double threshold = candidate - 1e-9;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      outcomes[i].alarm = streams[i].first_alarm(threshold);
+    }
+    const ml::Confusion c = dimm_confusion(outcomes, windows);
+    // Laplace-smoothed F1: validation folds hold only a handful of positive
+    // DIMMs, and raw F1 rewards degenerate 2-alarm thresholds; the smoothing
+    // term damps those spikes.
+    constexpr double kAlpha = 3.0;
+    const double f1 = 2.0 * static_cast<double>(c.tp) /
+                      (2.0 * static_cast<double>(c.tp) +
+                       static_cast<double>(c.fp) + static_cast<double>(c.fn) +
+                       kAlpha);
+    curve.emplace_back(threshold, f1);
+    best_f1 = std::max(best_f1, f1);
+  }
+  // The validation F1 curve is typically flat near its peak and the argmax
+  // is noise; among near-optimal thresholds take the lowest. More alarms at
+  // indistinguishable F1 means higher recall — the direction VIRR rewards.
+  double best_threshold = 0.5;
+  for (const auto& [threshold, f1] : curve) {
+    if (f1 >= best_f1 * 0.93) {
+      best_threshold = threshold;
+      break;  // candidates are ascending; the first qualifying is lowest
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace memfp::core

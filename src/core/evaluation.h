@@ -1,0 +1,45 @@
+// DIMM-level evaluation with alarm semantics (paper Section IV).
+//
+// A predictor watches each DIMM's telemetry stream and raises an alarm the
+// first time its score crosses the threshold. The alarm is a true positive
+// only if the DIMM's UE then arrives no sooner than the lead time dt_l and
+// no later than dt_l + dt_p — early enough to act, close enough to matter.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "features/windows.h"
+#include "ml/metrics.h"
+
+namespace memfp::core {
+
+/// The outcome material for one evaluated DIMM.
+struct AlarmOutcome {
+  bool positive = false;  ///< DIMM had a predictable UE
+  SimTime ue_time = 0;    ///< valid when positive
+  std::optional<SimTime> alarm;
+};
+
+/// Classifies alarm outcomes into a confusion matrix under the window rules.
+ml::Confusion dimm_confusion(const std::vector<AlarmOutcome>& outcomes,
+                             const features::PredictionWindows& windows);
+
+/// A scored telemetry stream of one DIMM (times ascending).
+struct ScoredStream {
+  std::vector<SimTime> times;
+  std::vector<double> scores;
+
+  /// First crossing of `threshold`; nullopt when never crossed.
+  std::optional<SimTime> first_alarm(double threshold) const;
+  double max_score() const;
+};
+
+/// Picks the threshold maximizing DIMM-level F1 over validation streams.
+/// Candidates are the distinct per-DIMM maximum scores.
+double tune_threshold(const std::vector<ScoredStream>& streams,
+                      const std::vector<AlarmOutcome>& outcomes_template,
+                      const features::PredictionWindows& windows);
+
+}  // namespace memfp::core

@@ -1,0 +1,56 @@
+// The paper's Section V analyses, computed from observable telemetry:
+//  - Fig 4: relative UE rate per inferred fault mode, per platform.
+//  - Fig 5: UE rate versus accumulated error-DQ/beat counts and intervals
+//    (the bit-level failure-pattern study, Intel platforms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/fault_inference.h"
+#include "sim/trace.h"
+
+namespace memfp::core {
+
+struct FaultModeEntry {
+  std::string category;
+  std::size_t dimms = 0;     ///< DIMMs whose CE history shows this fault mode
+  std::size_t ue_dimms = 0;  ///< ... of which reached a UE
+  double ue_rate = 0.0;
+  double relative = 0.0;  ///< ue_rate / max ue_rate across categories
+};
+
+/// Fig 4 for one platform fleet. Categories: cell / column / row / bank
+/// faults, single-device, multi-device.
+std::vector<FaultModeEntry> fault_mode_ue_rates(
+    const sim::FleetTrace& fleet,
+    const features::FaultThresholds& thresholds = {});
+
+/// Composition of the UE population: among DIMMs that reached a UE (with CE
+/// history), the share whose fault evidence is single- vs multi-device.
+/// This is the statistic behind Finding 2's "primary source of UEs".
+struct UeComposition {
+  std::size_t ue_dimms = 0;
+  double single_device_share = 0.0;
+  double multi_device_share = 0.0;
+};
+UeComposition ue_device_composition(
+    const sim::FleetTrace& fleet,
+    const features::FaultThresholds& thresholds = {});
+
+struct BitStatSeries {
+  std::string stat;  ///< "error DQs" / "error beats" / "DQ interval" / "beat interval"
+  std::vector<int> value;      ///< x axis (clamped at max_value)
+  std::vector<std::size_t> dimms;
+  std::vector<double> ue_rate;
+
+  /// x value with the highest UE rate among populated buckets.
+  int peak_value(std::size_t min_dimms = 5) const;
+};
+
+/// Fig 5 for one platform fleet: UE rate grouped by each accumulated
+/// error-bit statistic of the DIMM's CE history.
+std::vector<BitStatSeries> bit_pattern_ue_rates(const sim::FleetTrace& fleet,
+                                                int max_value = 8);
+
+}  // namespace memfp::core

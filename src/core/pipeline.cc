@@ -1,0 +1,283 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baseline/risky_ce_pattern.h"
+#include "common/logging.h"
+#include "ml/ft_transformer.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+
+namespace memfp::core {
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kRiskyCePattern:
+      return "Risky CE Pattern";
+    case Algorithm::kRandomForest:
+      return "Random forest";
+    case Algorithm::kLightGbm:
+      return "LightGBM";
+    case Algorithm::kFtTransformer:
+      return "FT-Transformer";
+  }
+  return "?";
+}
+
+std::unique_ptr<ml::BinaryClassifier> make_model(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kRandomForest:
+      return std::make_unique<ml::RandomForest>();
+    case Algorithm::kLightGbm:
+      return std::make_unique<ml::Gbdt>();
+    case Algorithm::kFtTransformer:
+      return std::make_unique<ml::FtTransformer>();
+    case Algorithm::kRiskyCePattern:
+      break;
+  }
+  throw std::invalid_argument(
+      "make_model: Risky CE Pattern is trace-based, not a feature model");
+}
+
+namespace {
+
+features::PredictionWindows with_cadence(features::PredictionWindows windows,
+                                         SimDuration cadence) {
+  windows.cadence = cadence;
+  return windows;
+}
+
+}  // namespace
+
+Experiment::Experiment(const sim::FleetTrace& fleet, PipelineConfig config)
+    : fleet_(&fleet),
+      config_(config),
+      train_extractor_(config.windows),
+      eval_extractor_(with_cadence(config.windows, config.eval_cadence)) {
+  Rng rng(config_.seed);
+
+  // Eligible DIMMs: those with CE telemetry. Sudden-UE DIMMs have no
+  // predictive data and are excluded (paper Section III).
+  std::vector<dram::DimmId> positive_ids, negative_ids;
+  std::vector<const sim::DimmTrace*> by_position;
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    if (dimm.ces.empty()) continue;
+    (dimm.predictable_ue() ? positive_ids : negative_ids).push_back(dimm.id);
+    by_position.push_back(&dimm);
+  }
+  const ml::DimmSplit split = ml::split_dimms(
+      positive_ids, negative_ids, config_.test_fraction, rng);
+
+  std::vector<bool> is_test_lookup;
+  {
+    std::vector<dram::DimmId> test_sorted = split.test;
+    std::sort(test_sorted.begin(), test_sorted.end());
+    for (const sim::DimmTrace* dimm : by_position) {
+      is_test_lookup.push_back(std::binary_search(
+          test_sorted.begin(), test_sorted.end(), dimm->id));
+    }
+  }
+
+  // Carve the validation fold (for threshold tuning) out of the train side,
+  // stratified by class like the test split.
+  std::vector<const sim::DimmTrace*> train_all;
+  for (std::size_t i = 0; i < by_position.size(); ++i) {
+    if (is_test_lookup[i]) {
+      test_dimms_.push_back(by_position[i]);
+    } else {
+      train_all.push_back(by_position[i]);
+    }
+  }
+  std::vector<dram::DimmId> train_pos, train_neg;
+  for (const sim::DimmTrace* dimm : train_all) {
+    (dimm->predictable_ue() ? train_pos : train_neg).push_back(dimm->id);
+  }
+  const ml::DimmSplit val_split = ml::split_dimms(
+      train_pos, train_neg, config_.validation_fraction, rng);
+  std::vector<dram::DimmId> val_sorted = val_split.test;
+  std::sort(val_sorted.begin(), val_sorted.end());
+  for (const sim::DimmTrace* dimm : train_all) {
+    (std::binary_search(val_sorted.begin(), val_sorted.end(), dimm->id)
+         ? val_dimms_
+         : train_dimms_)
+        .push_back(dimm);
+  }
+
+  // Build the training set: extract per DIMM, downsample immediately.
+  features::SampleSet set;
+  set.schema = train_extractor_.schema();
+  Rng sample_rng = rng.fork();
+  for (const sim::DimmTrace* dimm : train_dimms_) {
+    std::vector<features::Sample> samples =
+        train_extractor_.extract(*dimm, fleet.horizon);
+    // Per-DIMM downsampling before pooling keeps memory flat.
+    std::vector<features::Sample> positives, negatives;
+    for (features::Sample& sample : samples) {
+      if (sample.label == 1) positives.push_back(std::move(sample));
+      else if (sample.label == 0) negatives.push_back(std::move(sample));
+    }
+    if (negatives.size() > config_.max_negatives_per_dimm) {
+      sample_rng.shuffle(negatives);
+      negatives.resize(config_.max_negatives_per_dimm);
+    }
+    if (positives.size() > config_.max_positives_per_dimm) {
+      positives.erase(positives.begin(),
+                      positives.end() - static_cast<std::ptrdiff_t>(
+                                            config_.max_positives_per_dimm));
+    }
+    for (auto& sample : negatives) set.samples.push_back(std::move(sample));
+    for (auto& sample : positives) set.samples.push_back(std::move(sample));
+  }
+  train_set_ = ml::make_dataset(set);
+  if (!config_.active_features.empty()) {
+    // Ablation: project the training matrix onto the active columns.
+    ml::Dataset projected;
+    projected.y = train_set_.y;
+    projected.weight = train_set_.weight;
+    projected.dimm = train_set_.dimm;
+    projected.time = train_set_.time;
+    for (std::size_t i = 0; i < config_.active_features.size(); ++i) {
+      const std::size_t col = config_.active_features[i];
+      if (std::find(train_set_.categorical.begin(),
+                    train_set_.categorical.end(),
+                    col) != train_set_.categorical.end()) {
+        projected.categorical.push_back(i);
+      }
+    }
+    for (std::size_t r = 0; r < train_set_.size(); ++r) {
+      std::vector<float> row;
+      row.reserve(config_.active_features.size());
+      for (std::size_t col : config_.active_features) {
+        row.push_back(train_set_.x.at(r, col));
+      }
+      projected.x.push_row(row);
+    }
+    train_set_ = std::move(projected);
+  }
+  ml::rebalance_weights(train_set_, config_.positive_weight_share);
+
+  MEMFP_INFO << "experiment " << dram::platform_name(fleet.platform) << ": "
+             << train_dimms_.size() << " train / " << val_dimms_.size()
+             << " val / " << test_dimms_.size() << " test DIMMs, "
+             << train_set_.size() << " training rows ("
+             << train_set_.positives() << " positive)";
+}
+
+std::vector<float> Experiment::project(std::span<const float> features) const {
+  if (config_.active_features.empty()) {
+    return {features.begin(), features.end()};
+  }
+  std::vector<float> out;
+  out.reserve(config_.active_features.size());
+  for (std::size_t col : config_.active_features) out.push_back(features[col]);
+  return out;
+}
+
+void Experiment::score_dimms(const ml::BinaryClassifier& model,
+                             const std::vector<const sim::DimmTrace*>& dimms,
+                             std::vector<ScoredStream>& streams,
+                             std::vector<AlarmOutcome>& outcomes,
+                             std::vector<double>* pooled_scores,
+                             std::vector<int>* pooled_labels) const {
+  streams.clear();
+  outcomes.clear();
+  for (const sim::DimmTrace* dimm : dimms) {
+    const std::vector<features::Sample> samples =
+        eval_extractor_.extract(*dimm, fleet_->horizon);
+    ScoredStream stream;
+    ml::Matrix x;
+    for (const features::Sample& sample : samples) {
+      stream.times.push_back(sample.time);
+      x.push_row(project(sample.features));
+    }
+    stream.scores = x.rows() > 0 ? model.predict_batch(x)
+                                 : std::vector<double>{};
+    if (pooled_scores) {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (samples[i].label < 0) continue;
+        pooled_scores->push_back(stream.scores[i]);
+        pooled_labels->push_back(samples[i].label);
+      }
+    }
+    AlarmOutcome outcome;
+    outcome.positive = dimm->predictable_ue();
+    outcome.ue_time = dimm->ue ? dimm->ue->time : 0;
+    streams.push_back(std::move(stream));
+    outcomes.push_back(outcome);
+  }
+}
+
+Experiment::Result Experiment::run(Algorithm algorithm) {
+  return run_with_model(algorithm).first;
+}
+
+std::pair<Experiment::Result, std::unique_ptr<ml::BinaryClassifier>>
+Experiment::run_with_model(Algorithm algorithm) {
+  if (algorithm == Algorithm::kRiskyCePattern) {
+    return {run_risky_baseline(), nullptr};
+  }
+
+  Result result;
+  result.algorithm = algorithm_name(algorithm);
+  Rng rng(config_.seed ^ (static_cast<std::uint64_t>(algorithm) + 0x51ed));
+  std::unique_ptr<ml::BinaryClassifier> model = make_model(algorithm);
+  model->fit(train_set_, rng);
+
+  // Threshold tuning on the validation DIMMs.
+  std::vector<ScoredStream> val_streams;
+  std::vector<AlarmOutcome> val_outcomes;
+  score_dimms(*model, val_dimms_, val_streams, val_outcomes, nullptr, nullptr);
+  result.threshold =
+      tune_threshold(val_streams, val_outcomes, config_.windows);
+
+  // Held-out evaluation.
+  std::vector<ScoredStream> test_streams;
+  std::vector<AlarmOutcome> test_outcomes;
+  std::vector<double> pooled_scores;
+  std::vector<int> pooled_labels;
+  score_dimms(*model, test_dimms_, test_streams, test_outcomes,
+              &pooled_scores, &pooled_labels);
+  for (std::size_t i = 0; i < test_streams.size(); ++i) {
+    test_outcomes[i].alarm = test_streams[i].first_alarm(result.threshold);
+  }
+  result.confusion = dimm_confusion(test_outcomes, config_.windows);
+  result.precision = result.confusion.precision();
+  result.recall = result.confusion.recall();
+  result.f1 = result.confusion.f1();
+  result.virr = result.confusion.virr();
+  result.sample_pr_auc = ml::pr_auc(pooled_scores, pooled_labels);
+  return {std::move(result), std::move(model)};
+}
+
+Experiment::Result Experiment::run_risky_baseline() {
+  Result result;
+  result.algorithm = algorithm_name(Algorithm::kRiskyCePattern);
+  if (fleet_->platform != dram::Platform::kIntelPurley) {
+    // The published rules target the Purley ECC generation only.
+    result.applicable = false;
+    return result;
+  }
+  baseline::RiskyCePattern baseline(config_.windows);
+  std::vector<const sim::DimmTrace*> fit_dimms = train_dimms_;
+  fit_dimms.insert(fit_dimms.end(), val_dimms_.begin(), val_dimms_.end());
+  baseline.fit(fit_dimms, fleet_->horizon);
+
+  std::vector<AlarmOutcome> outcomes;
+  for (const sim::DimmTrace* dimm : test_dimms_) {
+    AlarmOutcome outcome;
+    outcome.positive = dimm->predictable_ue();
+    outcome.ue_time = dimm->ue ? dimm->ue->time : 0;
+    outcome.alarm = baseline.first_alarm(*dimm);
+    outcomes.push_back(outcome);
+  }
+  result.confusion = dimm_confusion(outcomes, config_.windows);
+  result.precision = result.confusion.precision();
+  result.recall = result.confusion.recall();
+  result.f1 = result.confusion.f1();
+  result.virr = result.confusion.virr();
+  result.threshold = 1.0;
+  return result;
+}
+
+}  // namespace memfp::core

@@ -1,0 +1,35 @@
+#include "core/platform_profile.h"
+
+namespace memfp::core {
+
+PlatformProfile profile_for(dram::Platform platform) {
+  PlatformProfile profile;
+  profile.platform = platform;
+  switch (platform) {
+    case dram::Platform::kIntelPurley:
+      profile.ecc_name = "Purley-SDDC (single-chip weak region)";
+      profile.risky_ce_baseline_applicable = true;
+      profile.paper_risky_ce = PaperReference{0.53, 0.46, 0.49, 0.37};
+      profile.paper_random_forest = {0.61, 0.62, 0.61, 0.52};
+      profile.paper_lightgbm = {0.54, 0.80, 0.64, 0.65};
+      profile.paper_ft_transformer = {0.49, 0.74, 0.59, 0.58};
+      break;
+    case dram::Platform::kIntelWhitley:
+      profile.ecc_name = "Whitley-SDDC (adaptive, multi-device weak region)";
+      profile.risky_ce_baseline_applicable = false;
+      profile.paper_random_forest = {0.34, 0.46, 0.39, 0.32};
+      profile.paper_lightgbm = {0.46, 0.54, 0.49, 0.45};
+      profile.paper_ft_transformer = {0.53, 0.49, 0.50, 0.40};
+      break;
+    case dram::Platform::kK920:
+      profile.ecc_name = "K920-SDDC (Chipkill-class)";
+      profile.risky_ce_baseline_applicable = false;
+      profile.paper_random_forest = {0.44, 0.51, 0.47, 0.39};
+      profile.paper_lightgbm = {0.51, 0.57, 0.54, 0.46};
+      profile.paper_ft_transformer = {0.40, 0.54, 0.46, 0.41};
+      break;
+  }
+  return profile;
+}
+
+}  // namespace memfp::core

@@ -1,0 +1,34 @@
+// Per-platform profiles: which ECC protects the platform, whether the rule
+// baseline applies, and the paper's published Table II reference numbers
+// (used by EXPERIMENTS.md reporting, never by the algorithms).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dram/geometry.h"
+
+namespace memfp::core {
+
+struct PaperReference {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double virr = 0.0;
+};
+
+struct PlatformProfile {
+  dram::Platform platform = dram::Platform::kIntelPurley;
+  std::string ecc_name;
+  bool risky_ce_baseline_applicable = false;
+
+  /// Paper Table II rows for this platform (nullopt where the paper has X).
+  std::optional<PaperReference> paper_risky_ce;
+  PaperReference paper_random_forest;
+  PaperReference paper_lightgbm;
+  PaperReference paper_ft_transformer;
+};
+
+PlatformProfile profile_for(dram::Platform platform);
+
+}  // namespace memfp::core

@@ -1,0 +1,70 @@
+#include "dram/ecc.h"
+
+#include <array>
+
+namespace memfp::dram {
+
+const char* verdict_name(EccVerdict verdict) {
+  switch (verdict) {
+    case EccVerdict::kNoError:
+      return "no-error";
+    case EccVerdict::kCorrected:
+      return "corrected";
+    case EccVerdict::kUncorrected:
+      return "uncorrected";
+  }
+  return "?";
+}
+
+EccVerdict SecDedEcc::classify(const ErrorPattern& pattern,
+                               const Geometry& geometry) const {
+  if (pattern.empty()) return EccVerdict::kNoError;
+  std::array<int, 16> per_beat{};
+  for (const ErrorBit& bit : pattern.bits()) {
+    if (bit.beat < per_beat.size() && ++per_beat[bit.beat] > 1) {
+      return EccVerdict::kUncorrected;
+    }
+  }
+  (void)geometry;
+  return EccVerdict::kCorrected;
+}
+
+EccVerdict ChipkillSddcEcc::classify(const ErrorPattern& pattern,
+                                     const Geometry& geometry) const {
+  if (pattern.empty()) return EccVerdict::kNoError;
+  return pattern.single_device(geometry) ? EccVerdict::kCorrected
+                                         : EccVerdict::kUncorrected;
+}
+
+EccVerdict PurleyEcc::classify(const ErrorPattern& pattern,
+                               const Geometry& geometry) const {
+  if (pattern.empty()) return EccVerdict::kNoError;
+  if (!pattern.single_device(geometry)) return EccVerdict::kUncorrected;
+  const bool weak_region = pattern.dq_count() >= kMinDq &&
+                           pattern.beat_count() >= kMinBeats &&
+                           pattern.beat_span() >= kMinBeatSpan;
+  return weak_region ? EccVerdict::kUncorrected : EccVerdict::kCorrected;
+}
+
+EccVerdict WhitleyEcc::classify(const ErrorPattern& pattern,
+                                const Geometry& geometry) const {
+  if (pattern.empty()) return EccVerdict::kNoError;
+  if (pattern.single_device(geometry)) return EccVerdict::kCorrected;
+  const bool wide = pattern.dq_count() >= kMinDq &&
+                    pattern.beat_count() >= kMinBeats;
+  return wide ? EccVerdict::kUncorrected : EccVerdict::kCorrected;
+}
+
+std::unique_ptr<EccScheme> make_platform_ecc(Platform platform) {
+  switch (platform) {
+    case Platform::kIntelPurley:
+      return std::make_unique<PurleyEcc>();
+    case Platform::kIntelWhitley:
+      return std::make_unique<WhitleyEcc>();
+    case Platform::kK920:
+      return std::make_unique<ChipkillSddcEcc>();
+  }
+  return nullptr;
+}
+
+}  // namespace memfp::dram

@@ -1,0 +1,96 @@
+#include "dram/error_pattern.h"
+
+#include <algorithm>
+
+namespace memfp::dram {
+namespace {
+
+/// Distinct sorted values of a bit-field extractor.
+template <typename Extract>
+std::vector<int> distinct(const std::vector<ErrorBit>& bits, Extract extract) {
+  std::vector<int> values;
+  values.reserve(bits.size());
+  for (const ErrorBit& bit : bits) values.push_back(extract(bit));
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+int max_gap(const std::vector<int>& sorted_values) {
+  if (sorted_values.size() < 2) return 0;
+  int gap = 0;
+  for (std::size_t i = 1; i < sorted_values.size(); ++i) {
+    gap = std::max(gap, sorted_values[i] - sorted_values[i - 1]);
+  }
+  return gap;
+}
+
+int span(const std::vector<int>& sorted_values) {
+  if (sorted_values.size() < 2) return 0;
+  return sorted_values.back() - sorted_values.front();
+}
+
+}  // namespace
+
+ErrorPattern::ErrorPattern(std::vector<ErrorBit> bits) : bits_(std::move(bits)) {
+  std::sort(bits_.begin(), bits_.end());
+  bits_.erase(std::unique(bits_.begin(), bits_.end()), bits_.end());
+}
+
+void ErrorPattern::add(ErrorBit bit) {
+  const auto it = std::lower_bound(bits_.begin(), bits_.end(), bit);
+  if (it != bits_.end() && *it == bit) return;
+  bits_.insert(it, bit);
+}
+
+int ErrorPattern::dq_count() const {
+  return static_cast<int>(
+      distinct(bits_, [](const ErrorBit& b) { return static_cast<int>(b.dq); })
+          .size());
+}
+
+int ErrorPattern::beat_count() const {
+  return static_cast<int>(
+      distinct(bits_, [](const ErrorBit& b) { return static_cast<int>(b.beat); })
+          .size());
+}
+
+int ErrorPattern::max_dq_interval() const {
+  return max_gap(
+      distinct(bits_, [](const ErrorBit& b) { return static_cast<int>(b.dq); }));
+}
+
+int ErrorPattern::max_beat_interval() const {
+  return max_gap(distinct(
+      bits_, [](const ErrorBit& b) { return static_cast<int>(b.beat); }));
+}
+
+int ErrorPattern::beat_span() const {
+  return span(distinct(
+      bits_, [](const ErrorBit& b) { return static_cast<int>(b.beat); }));
+}
+
+int ErrorPattern::dq_span() const {
+  return span(
+      distinct(bits_, [](const ErrorBit& b) { return static_cast<int>(b.dq); }));
+}
+
+std::vector<int> ErrorPattern::devices(const Geometry& geometry) const {
+  return distinct(bits_, [&](const ErrorBit& b) {
+    return geometry.device_of_dq(static_cast<int>(b.dq));
+  });
+}
+
+int ErrorPattern::device_count(const Geometry& geometry) const {
+  return static_cast<int>(devices(geometry).size());
+}
+
+bool ErrorPattern::single_device(const Geometry& geometry) const {
+  return device_count(geometry) == 1;
+}
+
+void ErrorPattern::merge(const ErrorPattern& other) {
+  for (const ErrorBit& bit : other.bits_) add(bit);
+}
+
+}  // namespace memfp::dram

@@ -1,0 +1,17 @@
+#include "dram/events.h"
+
+namespace memfp::dram {
+
+const char* mem_event_name(MemEventType type) {
+  switch (type) {
+    case MemEventType::kCeStorm:
+      return "ce-storm";
+    case MemEventType::kCeStormSuppressed:
+      return "ce-storm-suppressed";
+    case MemEventType::kPageOffline:
+      return "page-offline";
+  }
+  return "?";
+}
+
+}  // namespace memfp::dram

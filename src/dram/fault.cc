@@ -1,0 +1,333 @@
+#include "dram/fault.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace memfp::dram {
+
+const char* fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kCell:
+      return "cell";
+    case FaultMode::kColumn:
+      return "column";
+    case FaultMode::kRow:
+      return "row";
+    case FaultMode::kBank:
+      return "bank";
+  }
+  return "?";
+}
+
+const char* device_scope_name(DeviceScope scope) {
+  return scope == DeviceScope::kSingleDevice ? "single-device" : "multi-device";
+}
+
+double Fault::severity_at(SimTime t) const {
+  if (t < arrival) return 0.0;
+  const double age_days =
+      static_cast<double>(t - arrival) / static_cast<double>(kDay);
+  double severity = severity0 + severity_growth_per_day * age_days;
+  const double cap = escalating ? 1.3 : severity_cap;
+  return std::min(severity, cap);
+}
+
+double Fault::rate_at(SimTime t) const {
+  if (t < arrival) return 0.0;
+  const double age_days =
+      static_cast<double>(t - arrival) / static_cast<double>(kDay);
+  // Error rate intensifies while the fault is still physically degrading and
+  // flattens once the severity trajectory plateaus. This is the temporal
+  // signature that separates true escalators (which accelerate all the way
+  // into the UE) from stalled lookalikes — and it is invisible to bit-map
+  // rule baselines.
+  const double cap = escalating ? 1.3 : severity_cap;
+  const double degrading_days =
+      severity_growth_per_day > 1e-9
+          ? std::min(age_days, (cap - severity0) / severity_growth_per_day)
+          : age_days;
+  // Exponential intensification, clamped so CE storms stay bounded.
+  return std::min(
+      ce_rate_per_hour * std::exp(rate_growth_per_day * degrading_days),
+      4000.0);
+}
+
+FaultPatternModel::FaultPatternModel(Platform platform, Geometry geometry)
+    : platform_(platform), geometry_(std::move(geometry)) {}
+
+namespace {
+
+/// Deterministic per-fault layout derived from the anchor coordinate: which
+/// DQ lanes inside the device the fault touches and where its home/far beats
+/// sit. Keeping this a pure function of the anchor makes a fault's footprint
+/// stable across transfers, which is what lets accumulated CE-bit maps
+/// develop the platform-specific shapes of Fig 5.
+struct FaultLayout {
+  int lane0 = 0;       // primary DQ lane (absolute)
+  int lane1 = 0;       // secondary lane, same device
+  int lane2 = 0;       // tertiary lane, same device
+  int lane3 = 0;       // quaternary lane, same device
+  int home_beat = 0;   // in [0, 3] so a +4 far beat always exists
+  int near_beat = 0;   // home + 1..3 (narrow span)
+  int far_beat = 0;    // home + >=4 (wide span, Purley weak region)
+};
+
+FaultLayout layout_for(const Fault& fault, int device, const Geometry& g) {
+  FaultLayout layout;
+  const int lanes = g.dq_per_device();
+  const int base = g.device_dq_base(device);
+  const int offset0 = fault.anchor.row % lanes;
+  layout.lane0 = base + offset0;
+  layout.lane1 = base + (offset0 + 1) % lanes;
+  layout.lane2 = base + (offset0 + 2) % lanes;
+  layout.lane3 = base + (offset0 + 3) % lanes;
+  layout.home_beat = fault.anchor.column % 4;
+  const int narrow = 1 + fault.anchor.bank % 3;  // 1..3
+  layout.near_beat = std::min(layout.home_beat + narrow, g.beats - 1);
+  // Exactly +4: the weak-region interval is a property of the code's symbol
+  // layout, not of the fault — all wide-span escalations share it (and the
+  // accumulated maps cluster at interval 4, the paper's red bar).
+  layout.far_beat = layout.home_beat + 4;
+  return layout;
+}
+
+ErrorBit bit(int dq, int beat) {
+  return ErrorBit{static_cast<std::uint8_t>(dq),
+                  static_cast<std::uint8_t>(beat)};
+}
+
+/// Probability that an escalating fault past the boundary emits the
+/// uncorrectable pattern on a given transfer; ramps with overshoot.
+double ue_emission_probability(double severity) {
+  if (severity < 1.0) return 0.0;
+  return std::clamp(0.10 + 1.2 * (severity - 1.0), 0.05, 0.85);
+}
+
+}  // namespace
+
+ErrorPattern FaultPatternModel::sample(const Fault& fault, double severity,
+                                       Rng& rng) const {
+  ErrorPattern pattern = fault.scope == DeviceScope::kSingleDevice
+                             ? sample_single_device(fault, severity, rng)
+                             : sample_multi_device(fault, severity, rng);
+  assert(!pattern.empty());
+  return pattern;
+}
+
+ErrorPattern FaultPatternModel::sample_single_device(const Fault& fault,
+                                                     double severity,
+                                                     Rng& rng) const {
+  const FaultLayout layout = layout_for(fault, fault.anchor.device, geometry_);
+  ErrorPattern pattern;
+
+  switch (fault.mode) {
+    case FaultMode::kCell:
+      // A stuck cell errs at one fixed (lane, beat) position.
+      pattern.add(bit(layout.lane0, layout.home_beat));
+      return pattern;
+
+    case FaultMode::kColumn:
+      // A column fault repeats on one DQ lane; under stress the adjacent
+      // burst position starts erring too (still a single lane -> always CE).
+      pattern.add(bit(layout.lane0, layout.home_beat));
+      if (severity > 0.6 && rng.bernoulli(0.4)) {
+        pattern.add(bit(layout.lane0,
+                        std::min(layout.home_beat + 1, geometry_.beats - 1)));
+      }
+      return pattern;
+
+    case FaultMode::kRow:
+    case FaultMode::kBank:
+      break;  // handled below
+  }
+
+  // Row/bank faults: the error footprint widens with severity. On Purley this
+  // is the fault class that walks into the single-chip weak region of [7].
+  if (fault.escalating && severity >= 1.0 &&
+      rng.bernoulli(ue_emission_probability(severity))) {
+    // Wide two-lane pattern spanning >= 4 beats: uncorrectable on Purley.
+    pattern.add(bit(layout.lane0, layout.home_beat));
+    pattern.add(bit(layout.lane1, layout.far_beat));
+    if (fault.mode == FaultMode::kBank && rng.bernoulli(0.5)) {
+      pattern.add(bit(layout.lane1, layout.near_beat));
+    }
+    return pattern;
+  }
+
+  // Pre-boundary emissions: grow the set of active positions with severity.
+  struct Position {
+    int dq;
+    int beat;
+  };
+  // Pre-boundary emissions stay beat-concentrated at the home beat: the
+  // accumulated pre-UE map is then exactly the paper's Purley shape —
+  // 2 DQs over 2 beats with a wide (>=4) interval once the far position
+  // wakes below.
+  std::vector<Position> active{{layout.lane0, layout.home_beat}};
+  if (severity > 0.70) active.push_back({layout.lane1, layout.home_beat});
+  if (severity > 0.80) {
+    // The far position wakes up as the fault widens: CE logs begin to show
+    // isolated wide-span single-bit errors. Degrading faults and benign
+    // high-severity lookalikes produce the *same* accumulated signature —
+    // only actually crossing the boundary (severity >= 1) separates them,
+    // which is what keeps the prediction task honest.
+    active.push_back({layout.lane1, layout.far_beat});
+    // Emission frequency keeps rising with severity; lookalikes whose cap
+    // sits below 0.92 never reach this regime.
+    if (severity > 0.92) active.push_back({layout.lane1, layout.far_beat});
+  }
+
+  const std::size_t first = rng.uniform_u64(active.size());
+  pattern.add(bit(active[first].dq, active[first].beat));
+  if (active.size() > 1 && rng.bernoulli(0.35)) {
+    std::size_t second = rng.uniform_u64(active.size());
+    // Never pair home and far lanes in one transfer pre-boundary: that exact
+    // combination is the uncorrectable pattern.
+    const bool first_far = active[first].beat == layout.far_beat;
+    const bool second_far = active[second].beat == layout.far_beat;
+    if (!(first_far || second_far) || first == second) {
+      pattern.add(bit(active[second].dq, active[second].beat));
+    }
+  }
+  return pattern;
+}
+
+ErrorPattern FaultPatternModel::sample_multi_device(const Fault& fault,
+                                                    double severity,
+                                                    Rng& rng) const {
+  assert(fault.devices.size() >= 2);
+  const int device_a = fault.devices[0];
+  const int device_b = fault.devices[1];
+  const FaultLayout la = layout_for(fault, device_a, geometry_);
+  const FaultLayout lb = layout_for(fault, device_b, geometry_);
+  ErrorPattern pattern;
+
+  const bool emit_ue = fault.escalating && severity >= 1.0 &&
+                       rng.bernoulli(ue_emission_probability(severity));
+
+  switch (platform_) {
+    case Platform::kIntelWhitley: {
+      if (emit_ue) {
+        // Wide cross-device pattern: >=4 DQs over >=5 beats -> uncorrectable.
+        const int start = static_cast<int>(rng.uniform_u64(
+            static_cast<std::uint64_t>(geometry_.beats - 4)));
+        pattern.add(bit(la.lane0, start));
+        pattern.add(bit(la.lane1, start + 1));
+        pattern.add(bit(lb.lane0, start + 2));
+        pattern.add(bit(lb.lane1, start + 3));
+        pattern.add(bit(lb.lane0, start + 4));
+        return pattern;
+      }
+      // Pre-boundary: errors drift across a moving beat window and alternate
+      // devices; escalating faults use two lanes per device (so the
+      // accumulated map reaches 4 DQs / 5+ beats), benign faults stay narrow.
+      // The beat window drifts as severity grows; benign lookalikes that
+      // plateau near the boundary drift the same way and only stop short.
+      const int drift =
+          severity > 0.55
+              ? static_cast<int>((severity - 0.55) * 1.4 *
+                                 static_cast<double>(geometry_.beats))
+              : 0;
+      const auto beat_at = [&](int offset) {
+        return (la.home_beat + drift + offset) % geometry_.beats;
+      };
+      const bool use_b = rng.bernoulli(0.5);
+      const FaultLayout& lane_src = use_b ? lb : la;
+      pattern.add(bit(lane_src.lane0, beat_at(0)));
+      const double second_lane_p = severity > 0.75 ? 0.45 : 0.0;
+      if (second_lane_p > 0.0 && rng.bernoulli(second_lane_p)) {
+        pattern.add(bit(lane_src.lane1, beat_at(1)));
+      }
+      if (rng.bernoulli(severity > 0.75 ? 0.30 : 0.15)) {
+        // Narrow cross-device error: absorbed by the adaptive correction.
+        const FaultLayout& other = use_b ? la : lb;
+        pattern.add(bit(other.lane0, beat_at(0)));
+      }
+      return pattern;
+    }
+
+    case Platform::kK920: {
+      if (emit_ue) {
+        // Two devices erring in the same transfer defeats Chipkill-class
+        // single-device correction.
+        pattern.add(bit(la.lane0, la.home_beat));
+        pattern.add(bit(lb.lane0, la.home_beat));
+        if (rng.bernoulli(0.3)) pattern.add(bit(lb.lane1, la.near_beat));
+        return pattern;
+      }
+      // Pre-boundary: one device per transfer, alternating over time. The
+      // K920-SDDC corrects arbitrarily wide single-device patterns, so the
+      // per-device footprint is free to widen with severity — that widening
+      // is the platform's observable early-warning signal.
+      const FaultLayout& lane_src = rng.bernoulli(0.5) ? la : lb;
+      pattern.add(bit(lane_src.lane0, lane_src.home_beat));
+      if (severity > 0.55 && rng.bernoulli(0.5)) {
+        pattern.add(bit(lane_src.lane1, lane_src.near_beat));
+      }
+      if (severity > 0.85 && rng.bernoulli(std::min(0.8, severity - 0.35))) {
+        pattern.add(bit(lane_src.lane2, lane_src.home_beat));
+        if (rng.bernoulli(0.5)) {
+          pattern.add(bit(lane_src.lane0, lane_src.far_beat));
+        }
+      }
+      if (severity > 0.95 && rng.bernoulli(0.6)) {
+        // Whole-device involvement: the terminal pre-UE stage, out of reach
+        // of plateaued lookalikes.
+        pattern.add(bit(lane_src.lane3, lane_src.near_beat));
+        pattern.add(bit(lane_src.lane1, lane_src.far_beat));
+      }
+      return pattern;
+    }
+
+    case Platform::kIntelPurley: {
+      if (emit_ue) {
+        // Any cross-device transfer is uncorrectable on Purley.
+        pattern.add(bit(la.lane0, la.home_beat));
+        pattern.add(bit(lb.lane0, la.home_beat));
+        return pattern;
+      }
+      // Pre-boundary emissions must stay narrow: Purley also fails on wide
+      // single-device patterns, so a degrading multi-device fault shows
+      // only alternating near-anchor bits until it crosses.
+      const FaultLayout& lane_src = rng.bernoulli(0.5) ? la : lb;
+      pattern.add(bit(lane_src.lane0, lane_src.home_beat));
+      if (severity > 0.6 && rng.bernoulli(0.3)) {
+        pattern.add(bit(lane_src.lane0, lane_src.near_beat));
+      }
+      return pattern;
+    }
+  }
+  // Unreachable, but keeps -Wreturn-type happy for non-enum values.
+  pattern.add(bit(la.lane0, la.home_beat));
+  return pattern;
+}
+
+CellCoord FaultPatternModel::sample_coord(const Fault& fault, Rng& rng) const {
+  CellCoord coord = fault.anchor;
+  switch (fault.mode) {
+    case FaultMode::kCell:
+      break;  // fixed cell
+    case FaultMode::kColumn:
+      // Same column, varying rows.
+      coord.row = static_cast<int>(rng.uniform_u64(
+          static_cast<std::uint64_t>(geometry_.rows)));
+      break;
+    case FaultMode::kRow:
+      // Same row, varying columns.
+      coord.column = static_cast<int>(rng.uniform_u64(
+          static_cast<std::uint64_t>(geometry_.columns)));
+      break;
+    case FaultMode::kBank:
+      // Several rows and columns within the bank.
+      coord.row = fault.anchor.row +
+                  static_cast<int>(rng.uniform_u64(32)) - 16;
+      coord.row = std::clamp(coord.row, 0, geometry_.rows - 1);
+      coord.column = static_cast<int>(rng.uniform_u64(
+          static_cast<std::uint64_t>(geometry_.columns)));
+      break;
+  }
+  return coord;
+}
+
+}  // namespace memfp::dram

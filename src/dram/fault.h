@@ -1,0 +1,95 @@
+// DRAM fault taxonomy and fault -> error-pattern generation.
+//
+// Faults are the hidden ground truth of the simulator (paper Section II-A:
+// a *fault* is the physical root cause; an *error* is an observed wrong
+// transfer). Fault modes follow the DRAM hierarchy of Fig 1 and the field
+// studies [12, 29, 30]: cell, column, row and bank faults, each confined to
+// a single device or spanning multiple devices.
+//
+// A fault emits correctable/uncorrectable error transfers over time. Its
+// *severity* grows (for degrading faults) and controls how widely the error
+// bits spread across DQ lanes, beats and devices — which is what ultimately
+// pushes a pattern across the platform ECC's correction boundary.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "dram/error_pattern.h"
+#include "dram/geometry.h"
+
+namespace memfp::dram {
+
+enum class FaultMode { kCell, kColumn, kRow, kBank };
+
+const char* fault_mode_name(FaultMode mode);
+
+enum class DeviceScope { kSingleDevice, kMultiDevice };
+
+const char* device_scope_name(DeviceScope scope);
+
+/// One injected fault. `escalating` faults grow until their patterns cross
+/// the ECC boundary (a *predictable UE* in the paper's terms); benign faults
+/// plateau below it.
+struct Fault {
+  FaultMode mode = FaultMode::kCell;
+  DeviceScope scope = DeviceScope::kSingleDevice;
+  CellCoord anchor;
+  /// Devices involved; contains anchor.device, plus partners for multi-scope.
+  std::vector<int> devices{0};
+
+  SimTime arrival = 0;
+  double ce_rate_per_hour = 1.0;      ///< error-transfer rate at arrival
+  double rate_growth_per_day = 0.0;   ///< exponential rate growth
+  double severity0 = 0.1;             ///< spread severity at arrival, [0, 1.2]
+  double severity_growth_per_day = 0.0;
+  double severity_cap = 0.8;          ///< benign faults plateau here
+  bool escalating = false;
+
+  /// Severity at absolute time t (0 before arrival; capped for benign).
+  double severity_at(SimTime t) const;
+  /// Error-transfer rate (per hour) at absolute time t.
+  double rate_at(SimTime t) const;
+};
+
+/// Generates the error pattern of one faulty transfer.
+///
+/// The spread of the generated bits is mode-dependent (cell: one fixed bit;
+/// column: one DQ; row: several beats in one device; bank: widest) and grows
+/// with `severity`. Escalating faults at severity >= 1 enter the platform's
+/// uncorrectable region:
+///   Purley  - single-device, >=2 DQs over beats spanning >=4
+///   Whitley - multi-device, >=4 DQs over >=5 beats
+///   K920    - two devices erring in the same transfer
+class FaultPatternModel {
+ public:
+  FaultPatternModel(Platform platform, Geometry geometry);
+
+  /// Samples the error bits of one transfer emitted by `fault` at the given
+  /// severity. Never returns an empty pattern.
+  ErrorPattern sample(const Fault& fault, double severity, Rng& rng) const;
+
+  /// The cell coordinate reported with a sampled transfer (the anchor with
+  /// mode-appropriate jitter in row/column).
+  CellCoord sample_coord(const Fault& fault, Rng& rng) const;
+
+  const Geometry& geometry() const { return geometry_; }
+  Platform platform() const { return platform_; }
+
+ private:
+  ErrorPattern sample_single_device(const Fault& fault, double severity,
+                                    Rng& rng) const;
+  ErrorPattern sample_multi_device(const Fault& fault, double severity,
+                                   Rng& rng) const;
+  /// Bits within one device: `dq_lanes` distinct lanes, beats drawn from a
+  /// window of width `beat_window` anchored at the fault's home beat.
+  void add_device_bits(ErrorPattern& pattern, int device, int dq_lanes,
+                       int beat_window, int beat_anchor, bool force_wide_span,
+                       Rng& rng) const;
+
+  Platform platform_;
+  Geometry geometry_;
+};
+
+}  // namespace memfp::dram

@@ -1,0 +1,63 @@
+#include "dram/geometry.h"
+
+namespace memfp::dram {
+
+const char* platform_name(Platform platform) {
+  switch (platform) {
+    case Platform::kIntelPurley:
+      return "Intel Purley";
+    case Platform::kIntelWhitley:
+      return "Intel Whitley";
+    case Platform::kK920:
+      return "K920";
+  }
+  return "?";
+}
+
+const char* manufacturer_name(Manufacturer manufacturer) {
+  switch (manufacturer) {
+    case Manufacturer::kA:
+      return "A";
+    case Manufacturer::kB:
+      return "B";
+    case Manufacturer::kC:
+      return "C";
+    case Manufacturer::kD:
+      return "D";
+  }
+  return "?";
+}
+
+const char* process_name(DramProcess process) {
+  switch (process) {
+    case DramProcess::kUnknown:
+      return "unknown";
+    case DramProcess::k1x:
+      return "1x";
+    case DramProcess::k1y:
+      return "1y";
+    case DramProcess::k1z:
+      return "1z";
+    case DramProcess::k1a:
+      return "1a";
+  }
+  return "?";
+}
+
+Geometry Geometry::ddr4_x4() {
+  Geometry g;
+  g.data_devices = 16;
+  g.ecc_devices = 2;
+  g.width = DeviceWidth::kX4;
+  return g;
+}
+
+Geometry Geometry::ddr4_x8() {
+  Geometry g;
+  g.data_devices = 8;
+  g.ecc_devices = 1;
+  g.width = DeviceWidth::kX8;
+  return g;
+}
+
+}  // namespace memfp::dram

@@ -1,0 +1,82 @@
+// DRAM organization (paper Fig 1): DIMM -> rank -> device (chip) -> bank ->
+// row x column, and the transfer geometry seen by the memory controller:
+// a cache-line read moves 8 beats of 72 bits (64 data + 8 ECC) over DQ lanes,
+// with each x4 device contributing 4 adjacent DQs per beat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace memfp::dram {
+
+/// CPU platforms studied by the paper. K920 is the anonymized Huawei ARM part.
+enum class Platform { kIntelPurley, kIntelWhitley, kK920 };
+
+const char* platform_name(Platform platform);
+
+/// DRAM manufacturers (anonymized letters, as field studies usually do).
+enum class Manufacturer { kA, kB, kC, kD };
+
+const char* manufacturer_name(Manufacturer manufacturer);
+
+/// Device data width. The paper's bit-level analysis targets x4 DDR4.
+enum class DeviceWidth : std::uint8_t { kX4 = 4, kX8 = 8 };
+
+/// DRAM process node, one of the paper's static features.
+enum class DramProcess { kUnknown, k1x, k1y, k1z, k1a };
+
+const char* process_name(DramProcess process);
+
+/// Geometry of one DIMM rank as exposed to the ECC/transfer layer.
+struct Geometry {
+  int ranks = 2;
+  int data_devices = 16;   // devices carrying data bits
+  int ecc_devices = 2;     // devices carrying the 8 ECC bits (x4: 2 chips)
+  DeviceWidth width = DeviceWidth::kX4;
+  int banks = 16;
+  int rows = 1 << 17;      // 128Ki rows
+  int columns = 1 << 10;   // 1Ki columns
+  int beats = 8;           // DDR4 burst length
+
+  int devices_per_rank() const { return data_devices + ecc_devices; }
+  int dq_per_device() const { return static_cast<int>(width); }
+  /// Total DQ lanes in a transfer (72 for x4: 18 devices x 4 DQ).
+  int total_dq() const { return devices_per_rank() * dq_per_device(); }
+  /// First DQ lane of a device.
+  int device_dq_base(int device) const { return device * dq_per_device(); }
+  /// Device owning a DQ lane.
+  int device_of_dq(int dq) const { return dq / dq_per_device(); }
+
+  /// Standard x4 DDR4 geometry (72-bit bus) used throughout the study.
+  static Geometry ddr4_x4();
+  /// x8 variant (9 devices x 8 DQ) used in robustness tests.
+  static Geometry ddr4_x8();
+};
+
+/// Static DIMM configuration — the paper's "memory specification" features.
+struct DimmConfig {
+  Manufacturer manufacturer = Manufacturer::kA;
+  DramProcess process = DramProcess::k1y;
+  DeviceWidth width = DeviceWidth::kX4;
+  int frequency_mhz = 2933;
+  int capacity_gib = 32;
+  std::string part_number;  // synthetic part id, drives baseline rule tables
+
+  Geometry geometry() const {
+    return width == DeviceWidth::kX4 ? Geometry::ddr4_x4()
+                                     : Geometry::ddr4_x8();
+  }
+};
+
+/// Location of a DRAM cell within a rank.
+struct CellCoord {
+  int rank = 0;
+  int device = 0;
+  int bank = 0;
+  int row = 0;
+  int column = 0;
+
+  bool operator==(const CellCoord&) const = default;
+};
+
+}  // namespace memfp::dram

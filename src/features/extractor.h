@@ -1,0 +1,44 @@
+// Feature extraction over a DIMM's telemetry trace.
+//
+// Walks the trace once per DIMM, emitting one sample per cadence tick while
+// the trailing observation window contains at least one CE. All state that
+// spans the lifetime (fault-structure maps, accumulated bit maps) is updated
+// incrementally, so extraction is O(events + samples * window) per DIMM.
+//
+// Leakage discipline: a sample at time t sees only events with time <= t.
+// The trace-level `suppressed_ce_count` is NOT a feature (it is filled in by
+// the simulator without a timestamp); storm events, which are timestamped,
+// carry that information instead.
+#pragma once
+
+#include "features/fault_inference.h"
+#include "features/sample.h"
+#include "features/schema.h"
+#include "features/windows.h"
+#include "sim/trace.h"
+
+namespace memfp::features {
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(PredictionWindows windows = {},
+                            FaultThresholds thresholds = {});
+
+  const FeatureSchema& schema() const { return schema_; }
+  const PredictionWindows& windows() const { return windows_; }
+
+  /// All samples of one DIMM over [cadence, min(horizon, UE time)].
+  std::vector<Sample> extract(const sim::DimmTrace& trace,
+                              SimTime horizon) const;
+
+  /// Feature vector at one point in time (online serving path). Returns an
+  /// empty vector when the observation window holds no CE.
+  std::vector<float> features_at(const sim::DimmTrace& trace, SimTime t) const;
+
+ private:
+  FeatureSchema schema_;
+  PredictionWindows windows_;
+  FaultThresholds thresholds_;
+};
+
+}  // namespace memfp::features

@@ -1,0 +1,86 @@
+#include "features/fault_inference.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace memfp::features {
+namespace {
+
+/// Packs (rank, device, bank, row[, column]) into hashable keys.
+std::uint64_t cell_key(const dram::CellCoord& c) {
+  return (static_cast<std::uint64_t>(c.rank) << 56) |
+         (static_cast<std::uint64_t>(c.device & 0xff) << 48) |
+         (static_cast<std::uint64_t>(c.bank & 0xff) << 40) |
+         (static_cast<std::uint64_t>(c.row & 0xffffff) << 16) |
+         static_cast<std::uint64_t>(c.column & 0xffff);
+}
+
+std::uint64_t row_key(const dram::CellCoord& c) {
+  return cell_key(c) >> 16;
+}
+
+std::uint64_t column_key(const dram::CellCoord& c) {
+  return (static_cast<std::uint64_t>(c.rank) << 56) |
+         (static_cast<std::uint64_t>(c.device & 0xff) << 48) |
+         (static_cast<std::uint64_t>(c.bank & 0xff) << 40) |
+         static_cast<std::uint64_t>(c.column & 0xffff);
+}
+
+std::uint64_t bank_key(const dram::CellCoord& c) {
+  return (static_cast<std::uint64_t>(c.rank) << 56) |
+         (static_cast<std::uint64_t>(c.device & 0xff) << 48) |
+         (static_cast<std::uint64_t>(c.bank & 0xff) << 40);
+}
+
+}  // namespace
+
+InferredFaults infer_faults(std::span<const dram::CeEvent> ces,
+                            const FaultThresholds& thresholds) {
+  std::unordered_map<std::uint64_t, int> cell_counts;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> row_columns;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> column_rows;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> bank_rows;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> bank_columns;
+  std::unordered_map<int, int> device_counts;
+
+  for (const dram::CeEvent& ce : ces) {
+    const dram::CellCoord& c = ce.coord;
+    ++cell_counts[cell_key(c)];
+    row_columns[row_key(c)].insert(c.column);
+    column_rows[column_key(c)].insert(c.row);
+    bank_rows[bank_key(c)].insert(c.row);
+    bank_columns[bank_key(c)].insert(c.column);
+    ++device_counts[(c.rank << 8) | c.device];
+  }
+
+  InferredFaults result;
+  for (const auto& [key, count] : cell_counts) {
+    if (count >= thresholds.cell_repeat) ++result.cell_faults;
+  }
+  for (const auto& [key, columns] : row_columns) {
+    if (static_cast<int>(columns.size()) >= thresholds.row_columns) {
+      ++result.row_faults;
+    }
+  }
+  for (const auto& [key, rows] : column_rows) {
+    if (static_cast<int>(rows.size()) >= thresholds.column_rows) {
+      ++result.column_faults;
+    }
+  }
+  for (const auto& [key, rows] : bank_rows) {
+    const auto cols = bank_columns.find(key);
+    if (static_cast<int>(rows.size()) >= thresholds.bank_rows &&
+        cols != bank_columns.end() &&
+        static_cast<int>(cols->second.size()) >= thresholds.bank_columns) {
+      ++result.bank_faults;
+    }
+  }
+  for (const auto& [device, count] : device_counts) {
+    if (count >= thresholds.device_min_ces) ++result.faulty_devices;
+  }
+  result.single_device = result.faulty_devices == 1;
+  result.multi_device = result.faulty_devices >= 2;
+  return result;
+}
+
+}  // namespace memfp::features

@@ -1,0 +1,47 @@
+// Observable fault-mode inference from CE logs (paper Section V).
+//
+// The operator cannot see physical faults, only error coordinates; fault
+// modes are inferred by thresholding the spatial structure of the CE history
+// the way the field studies [12, 29, 30] do: repeated errors in one cell, a
+// row with errors across several columns, a column with errors across
+// several rows, a bank with errors spread over many rows and columns, and
+// single- vs multi-device involvement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dram/events.h"
+
+namespace memfp::features {
+
+struct FaultThresholds {
+  int cell_repeat = 2;       ///< CEs at one cell -> cell fault
+  int row_columns = 2;       ///< distinct columns in one row -> row fault
+  int column_rows = 2;       ///< distinct rows in one column -> column fault
+  int bank_rows = 5;         ///< distinct rows in a bank (with bank_columns)
+  int bank_columns = 5;      ///<   ... -> bank fault
+  int device_min_ces = 2;    ///< CEs on a device before it counts as faulty
+};
+
+/// Inferred fault summary of one DIMM's CE history.
+struct InferredFaults {
+  int cell_faults = 0;
+  int row_faults = 0;
+  int column_faults = 0;
+  int bank_faults = 0;
+  int faulty_devices = 0;   ///< devices with >= device_min_ces CEs
+  bool single_device = false;
+  bool multi_device = false;
+
+  bool any() const {
+    return cell_faults + row_faults + column_faults + bank_faults > 0 ||
+           faulty_devices > 0;
+  }
+};
+
+/// Classifies the spatial structure of a CE sequence.
+InferredFaults infer_faults(std::span<const dram::CeEvent> ces,
+                            const FaultThresholds& thresholds = {});
+
+}  // namespace memfp::features

@@ -1,0 +1,43 @@
+// Labeled feature samples: the tabular dataset the ML layer trains on and
+// the online service scores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "dram/events.h"
+#include "features/schema.h"
+
+namespace memfp::features {
+
+struct Sample {
+  dram::DimmId dimm = 0;
+  SimTime time = 0;
+  /// 1 = UE inside the prediction window, 0 = no UE, -1 = "too late" zone
+  /// (UE closer than the lead time; excluded from training, kept for the
+  /// online evaluation stream).
+  int label = 0;
+  std::vector<float> features;
+
+  bool trainable() const { return label >= 0; }
+};
+
+/// A dataset with its schema. Samples are grouped by DIMM in time order.
+struct SampleSet {
+  FeatureSchema schema;
+  std::vector<Sample> samples;
+
+  std::size_t positives() const {
+    std::size_t count = 0;
+    for (const Sample& sample : samples) count += sample.label == 1;
+    return count;
+  }
+  std::size_t negatives() const {
+    std::size_t count = 0;
+    for (const Sample& sample : samples) count += sample.label == 0;
+    return count;
+  }
+};
+
+}  // namespace memfp::features

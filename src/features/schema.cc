@@ -1,0 +1,123 @@
+#include "features/schema.h"
+
+#include <stdexcept>
+
+namespace memfp::features {
+
+const char* feature_group_name(FeatureGroup group) {
+  switch (group) {
+    case FeatureGroup::kTemporal:
+      return "temporal";
+    case FeatureGroup::kSpatial:
+      return "spatial";
+    case FeatureGroup::kBitLevel:
+      return "bit-level";
+    case FeatureGroup::kStatic:
+      return "static";
+    case FeatureGroup::kWorkload:
+      return "workload";
+  }
+  return "?";
+}
+
+FeatureSchema FeatureSchema::standard() {
+  FeatureSchema schema;
+  auto add = [&schema](const char* name, FeatureGroup group) {
+    schema.defs_.push_back({name, group, false, 0});
+  };
+  auto add_cat = [&schema](const char* name, FeatureGroup group,
+                           int cardinality) {
+    schema.defs_.push_back({name, group, true, cardinality});
+  };
+
+  // Temporal: CE dynamics over the paper's interval ladder.
+  add("ce_count_1h", FeatureGroup::kTemporal);
+  add("ce_count_6h", FeatureGroup::kTemporal);
+  add("ce_count_1d", FeatureGroup::kTemporal);
+  add("ce_count_3d", FeatureGroup::kTemporal);
+  add("ce_count_5d", FeatureGroup::kTemporal);
+  add("storm_count_5d", FeatureGroup::kTemporal);
+  add("storm_suppressed_5d", FeatureGroup::kTemporal);
+  add("interarrival_mean_h_5d", FeatureGroup::kTemporal);
+  add("interarrival_min_h_5d", FeatureGroup::kTemporal);
+  add("interarrival_cv_5d", FeatureGroup::kTemporal);
+  add("ce_acceleration", FeatureGroup::kTemporal);
+  add("days_since_first_ce", FeatureGroup::kTemporal);
+  add("hours_since_last_ce", FeatureGroup::kTemporal);
+  add("lifetime_ce_count", FeatureGroup::kTemporal);
+  add("active_days_5d", FeatureGroup::kTemporal);
+
+  // Spatial: DRAM-hierarchy structure of the error coordinates.
+  add("distinct_cells_5d", FeatureGroup::kSpatial);
+  add("distinct_rows_5d", FeatureGroup::kSpatial);
+  add("distinct_columns_5d", FeatureGroup::kSpatial);
+  add("distinct_banks_5d", FeatureGroup::kSpatial);
+  add("distinct_devices_5d", FeatureGroup::kSpatial);
+  add("distinct_devices_life", FeatureGroup::kSpatial);
+  add("dominant_device_share_5d", FeatureGroup::kSpatial);
+  add("cell_faults_life", FeatureGroup::kSpatial);
+  add("row_faults_life", FeatureGroup::kSpatial);
+  add("column_faults_life", FeatureGroup::kSpatial);
+  add("bank_faults_life", FeatureGroup::kSpatial);
+  add("multi_device_fault", FeatureGroup::kSpatial);
+  add("single_device_fault", FeatureGroup::kSpatial);
+  add("max_row_ces_5d", FeatureGroup::kSpatial);
+
+  // Bit-level: accumulated DQ/beat maps and per-transfer extremes.
+  add("acc_dq_count_5d", FeatureGroup::kBitLevel);
+  add("acc_beat_count_5d", FeatureGroup::kBitLevel);
+  add("acc_dq_interval_5d", FeatureGroup::kBitLevel);
+  add("acc_beat_interval_5d", FeatureGroup::kBitLevel);
+  add("acc_beat_span_5d", FeatureGroup::kBitLevel);
+  add("acc_dq_count_life", FeatureGroup::kBitLevel);
+  add("acc_beat_count_life", FeatureGroup::kBitLevel);
+  add("acc_beat_interval_life", FeatureGroup::kBitLevel);
+  add("acc_beat_span_life", FeatureGroup::kBitLevel);
+  add("acc_bits_life", FeatureGroup::kBitLevel);
+  add("max_transfer_dq_5d", FeatureGroup::kBitLevel);
+  add("max_transfer_beats_5d", FeatureGroup::kBitLevel);
+  add("multibit_ce_share_5d", FeatureGroup::kBitLevel);
+  add("cross_device_ce_5d", FeatureGroup::kBitLevel);
+  add("risky_pattern_purley", FeatureGroup::kBitLevel);
+  add("risky_pattern_whitley", FeatureGroup::kBitLevel);
+
+  // Static configuration.
+  add_cat("manufacturer", FeatureGroup::kStatic, 4);
+  add_cat("dram_process", FeatureGroup::kStatic, 5);
+  add("frequency_ghz", FeatureGroup::kStatic);
+  add("capacity_gib", FeatureGroup::kStatic);
+  add("device_width", FeatureGroup::kStatic);
+
+  // Server workload context (minor-role features, [25]-[27]).
+  add("cpu_utilization", FeatureGroup::kWorkload);
+  add("memory_utilization", FeatureGroup::kWorkload);
+  add("read_write_ratio", FeatureGroup::kWorkload);
+
+  return schema;
+}
+
+std::size_t FeatureSchema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return i;
+  }
+  throw std::out_of_range("FeatureSchema: no feature named " + name);
+}
+
+std::vector<std::size_t> FeatureSchema::group_indices(
+    FeatureGroup group) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].group == group) indices.push_back(i);
+  }
+  return indices;
+}
+
+FeatureSchema FeatureSchema::subset(
+    const std::vector<std::size_t>& indices) const {
+  FeatureSchema schema;
+  schema.defs_.reserve(indices.size());
+  for (std::size_t index : indices) schema.defs_.push_back(defs_.at(index));
+  return schema;
+}
+
+}  // namespace memfp::features

@@ -1,0 +1,49 @@
+// Feature schema: the fixed, named layout of the model input vector, with
+// group tags (temporal / spatial / bit-level / static) for the ablation
+// study and categorical metadata for the FT-Transformer's tokenizer.
+//
+// The schema mirrors the paper's feature families (Section VI): CE rates and
+// dynamics over multiple intervals, inferred DRAM-hierarchy fault structure,
+// error-bit DQ/beat statistics, and static DIMM configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace memfp::features {
+
+enum class FeatureGroup { kTemporal, kSpatial, kBitLevel, kStatic, kWorkload };
+
+const char* feature_group_name(FeatureGroup group);
+
+struct FeatureDef {
+  std::string name;
+  FeatureGroup group = FeatureGroup::kTemporal;
+  bool categorical = false;
+  int cardinality = 0;  ///< number of categories when categorical
+};
+
+class FeatureSchema {
+ public:
+  /// The full schema used throughout the paper reproduction.
+  static FeatureSchema standard();
+
+  std::size_t size() const { return defs_.size(); }
+  const FeatureDef& def(std::size_t index) const { return defs_[index]; }
+  const std::vector<FeatureDef>& defs() const { return defs_; }
+
+  /// Index by name; throws std::out_of_range when missing.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Indices belonging to a group (for ablations).
+  std::vector<std::size_t> group_indices(FeatureGroup group) const;
+
+  /// Restricted copy keeping only the given (sorted) indices.
+  FeatureSchema subset(const std::vector<std::size_t>& indices) const;
+
+ private:
+  std::vector<FeatureDef> defs_;
+};
+
+}  // namespace memfp::features

@@ -1,0 +1,486 @@
+#include "ml/autodiff.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace memfp::ml {
+namespace {
+
+constexpr float kGeluC = 0.7978845608f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+constexpr float kLnEps = 1e-5f;
+
+}  // namespace
+
+int Graph::add_node(Tensor value, bool requires_grad,
+                    std::function<void()> backward_fn) {
+  Node node;
+  node.grad = Tensor(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.requires_grad = requires_grad;
+  node.backward_fn = std::move(backward_fn);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Graph::leaf(Tensor value, bool requires_grad) {
+  return add_node(std::move(value), requires_grad, nullptr);
+}
+
+int Graph::add(int a, int b) {
+  assert(nodes_[a].value.rows() == nodes_[b].value.rows() &&
+         nodes_[a].value.cols() == nodes_[b].value.cols());
+  Tensor out = nodes_[a].value;
+  axpy(1.0f, nodes_[b].value, out);
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, b, id] {
+    axpy(1.0f, nodes_[id].grad, nodes_[a].grad);
+    axpy(1.0f, nodes_[id].grad, nodes_[b].grad);
+  };
+  return id;
+}
+
+int Graph::add_rowvec(int a, int b) {
+  const Tensor& av = nodes_[a].value;
+  const Tensor& bv = nodes_[b].value;
+  assert(bv.rows() == 1 && bv.cols() == av.cols());
+  Tensor out = av;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += bv(0, c);
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, b, id] {
+    const Tensor& g = nodes_[id].grad;
+    axpy(1.0f, g, nodes_[a].grad);
+    Tensor& gb = nodes_[b].grad;
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      for (std::size_t c = 0; c < g.cols(); ++c) gb(0, c) += g(r, c);
+    }
+  };
+  return id;
+}
+
+int Graph::matmul(int a, int b) {
+  Tensor out;
+  gemm(nodes_[a].value, nodes_[b].value, out);
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, b, id] {
+    // dA = dOut @ B^T ; dB = A^T @ dOut
+    gemm_bt(nodes_[id].grad, nodes_[b].value, nodes_[a].grad,
+            /*accumulate=*/true);
+    gemm_at(nodes_[a].value, nodes_[id].grad, nodes_[b].grad,
+            /*accumulate=*/true);
+  };
+  return id;
+}
+
+int Graph::scale(int a, float s) {
+  Tensor out = nodes_[a].value;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, id, s] {
+    axpy(s, nodes_[id].grad, nodes_[a].grad);
+  };
+  return id;
+}
+
+int Graph::relu(int a) {
+  Tensor out = nodes_[a].value;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, id] {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& x = nodes_[a].value;
+    Tensor& ga = nodes_[a].grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (x.data()[i] > 0.0f) ga.data()[i] += g.data()[i];
+    }
+  };
+  return id;
+}
+
+int Graph::gelu(int a) {
+  Tensor out = nodes_[a].value;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float x = out.data()[i];
+    const float u = kGeluC * (x + kGeluA * x * x * x);
+    out.data()[i] = 0.5f * x * (1.0f + std::tanh(u));
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, id] {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& xv = nodes_[a].value;
+    Tensor& ga = nodes_[a].grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const float x = xv.data()[i];
+      const float u = kGeluC * (x + kGeluA * x * x * x);
+      const float t = std::tanh(u);
+      const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+      const float dg = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      ga.data()[i] += g.data()[i] * dg;
+    }
+  };
+  return id;
+}
+
+int Graph::dropout(int a, float rate, Rng& rng) {
+  if (rate <= 0.0f) return a;
+  const float keep = 1.0f - rate;
+  auto mask = std::make_shared<std::vector<float>>(nodes_[a].value.size());
+  Tensor out = nodes_[a].value;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float m = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;
+    (*mask)[i] = m;
+    out.data()[i] *= m;
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, id, mask] {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& ga = nodes_[a].grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ga.data()[i] += g.data()[i] * (*mask)[i];
+    }
+  };
+  return id;
+}
+
+int Graph::layernorm(int a, int gamma, int beta) {
+  const Tensor& x = nodes_[a].value;
+  const std::size_t rows = x.rows(), cols = x.cols();
+  auto xhat = std::make_shared<Tensor>(rows, cols);
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  const Tensor& gv = nodes_[gamma].value;
+  const Tensor& bv = nodes_[beta].value;
+  Tensor out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) mean += x(r, c);
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float d = x(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float is = 1.0f / std::sqrt(var + kLnEps);
+    (*inv_std)[r] = is;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float xh = (x(r, c) - mean) * is;
+      (*xhat)(r, c) = xh;
+      out(r, c) = gv(0, c) * xh + bv(0, c);
+    }
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, gamma, beta, id, xhat, inv_std] {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& gv = nodes_[gamma].value;
+    Tensor& ga = nodes_[a].grad;
+    Tensor& gg = nodes_[gamma].grad;
+    Tensor& gb = nodes_[beta].grad;
+    const std::size_t rows = g.rows(), cols = g.cols();
+    for (std::size_t r = 0; r < rows; ++r) {
+      float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) {
+        const float dy = g(r, c);
+        const float xh = (*xhat)(r, c);
+        gb(0, c) += dy;
+        gg(0, c) += dy * xh;
+        const float dxhat = dy * gv(0, c);
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xh;
+      }
+      const float n = static_cast<float>(cols);
+      const float is = (*inv_std)[r];
+      for (std::size_t c = 0; c < cols; ++c) {
+        const float dxhat = g(r, c) * gv(0, c);
+        ga(r, c) += is * (dxhat - sum_dxhat / n -
+                          (*xhat)(r, c) * sum_dxhat_xhat / n);
+      }
+    }
+  };
+  return id;
+}
+
+int Graph::attention(int q, int k, int v, int tokens, int heads) {
+  const Tensor& qv = nodes_[q].value;
+  const Tensor& kv = nodes_[k].value;
+  const Tensor& vv = nodes_[v].value;
+  const std::size_t d = qv.cols();
+  assert(d % static_cast<std::size_t>(heads) == 0);
+  const std::size_t dh = d / static_cast<std::size_t>(heads);
+  assert(qv.rows() % static_cast<std::size_t>(tokens) == 0);
+  const std::size_t batch = qv.rows() / static_cast<std::size_t>(tokens);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const auto t = static_cast<std::size_t>(tokens);
+
+  // Store the softmax weights for backward: batch x heads x T x T.
+  auto attn = std::make_shared<std::vector<float>>(
+      batch * static_cast<std::size_t>(heads) * t * t);
+  Tensor out(qv.rows(), d);
+
+  std::vector<float> scores(t);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * t;
+    for (std::size_t h = 0; h < static_cast<std::size_t>(heads); ++h) {
+      const std::size_t hc = h * dh;
+      float* a_block =
+          attn->data() + (b * static_cast<std::size_t>(heads) + h) * t * t;
+      for (std::size_t i = 0; i < t; ++i) {
+        float max_score = -1e30f;
+        for (std::size_t j = 0; j < t; ++j) {
+          float s = 0.0f;
+          for (std::size_t c = 0; c < dh; ++c) {
+            s += qv(base + i, hc + c) * kv(base + j, hc + c);
+          }
+          s *= scale;
+          scores[j] = s;
+          max_score = std::max(max_score, s);
+        }
+        float denom = 0.0f;
+        for (std::size_t j = 0; j < t; ++j) {
+          scores[j] = std::exp(scores[j] - max_score);
+          denom += scores[j];
+        }
+        for (std::size_t j = 0; j < t; ++j) {
+          const float a = scores[j] / denom;
+          a_block[i * t + j] = a;
+          for (std::size_t c = 0; c < dh; ++c) {
+            out(base + i, hc + c) += a * vv(base + j, hc + c);
+          }
+        }
+      }
+    }
+  }
+
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, q, k, v, id, attn, tokens, heads, dh,
+                            scale] {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& qv = nodes_[q].value;
+    const Tensor& kv = nodes_[k].value;
+    const Tensor& vv = nodes_[v].value;
+    Tensor& gq = nodes_[q].grad;
+    Tensor& gk = nodes_[k].grad;
+    Tensor& gv_ = nodes_[v].grad;
+    const auto t = static_cast<std::size_t>(tokens);
+    const std::size_t batch = qv.rows() / t;
+    std::vector<float> da(t), ds(t);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t base = b * t;
+      for (std::size_t h = 0; h < static_cast<std::size_t>(heads); ++h) {
+        const std::size_t hc = h * dh;
+        const float* a_block =
+            attn->data() + (b * static_cast<std::size_t>(heads) + h) * t * t;
+        for (std::size_t i = 0; i < t; ++i) {
+          // dA(i,j) = sum_c dOut(i,c) * V(j,c); dV(j,c) += A(i,j) dOut(i,c)
+          float dot = 0.0f;
+          for (std::size_t j = 0; j < t; ++j) {
+            float daij = 0.0f;
+            const float aij = a_block[i * t + j];
+            for (std::size_t c = 0; c < dh; ++c) {
+              const float go = g(base + i, hc + c);
+              daij += go * vv(base + j, hc + c);
+              gv_(base + j, hc + c) += aij * go;
+            }
+            da[j] = daij;
+            dot += daij * aij;
+          }
+          for (std::size_t j = 0; j < t; ++j) {
+            ds[j] = a_block[i * t + j] * (da[j] - dot) * scale;
+          }
+          for (std::size_t j = 0; j < t; ++j) {
+            const float dsij = ds[j];
+            if (dsij == 0.0f) continue;
+            for (std::size_t c = 0; c < dh; ++c) {
+              gq(base + i, hc + c) += dsij * kv(base + j, hc + c);
+              gk(base + j, hc + c) += dsij * qv(base + i, hc + c);
+            }
+          }
+        }
+      }
+    }
+  };
+  return id;
+}
+
+int Graph::select_token(int a, int tokens, int offset) {
+  const Tensor& x = nodes_[a].value;
+  const auto t = static_cast<std::size_t>(tokens);
+  const std::size_t batch = x.rows() / t;
+  Tensor out(batch, x.cols());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(b, c) = x(b * t + static_cast<std::size_t>(offset), c);
+    }
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, a, id, tokens, offset] {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& ga = nodes_[a].grad;
+    const auto t = static_cast<std::size_t>(tokens);
+    for (std::size_t b = 0; b < g.rows(); ++b) {
+      for (std::size_t c = 0; c < g.cols(); ++c) {
+        ga(b * t + static_cast<std::size_t>(offset), c) += g(b, c);
+      }
+    }
+  };
+  return id;
+}
+
+int Graph::numeric_tokens(const Tensor& x, int w, int b) {
+  const Tensor& wv = nodes_[w].value;
+  const Tensor& bv = nodes_[b].value;
+  const std::size_t batch = x.rows(), features = x.cols(), d = wv.cols();
+  assert(wv.rows() == features && bv.rows() == features && bv.cols() == d);
+  auto x_copy = std::make_shared<Tensor>(x);
+  Tensor out(batch * features, d);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      const float xv = x(r, f);
+      for (std::size_t c = 0; c < d; ++c) {
+        out(r * features + f, c) = xv * wv(f, c) + bv(f, c);
+      }
+    }
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, w, b, id, x_copy] {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& gw = nodes_[w].grad;
+    Tensor& gb = nodes_[b].grad;
+    const std::size_t batch = x_copy->rows(), features = x_copy->cols(),
+                      d = g.cols();
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t f = 0; f < features; ++f) {
+        const float xv = (*x_copy)(r, f);
+        for (std::size_t c = 0; c < d; ++c) {
+          const float go = g(r * features + f, c);
+          gw(f, c) += xv * go;
+          gb(f, c) += go;
+        }
+      }
+    }
+  };
+  return id;
+}
+
+int Graph::categorical_tokens(const std::vector<int>& codes,
+                              std::size_t slots, int table,
+                              const std::vector<int>& offsets) {
+  assert(offsets.size() == slots);
+  const Tensor& tv = nodes_[table].value;
+  const std::size_t d = tv.cols();
+  const std::size_t total = codes.size();
+  auto codes_copy = std::make_shared<std::vector<int>>(codes);
+  auto offsets_copy = std::make_shared<std::vector<int>>(offsets);
+  Tensor out(total, d);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t row = static_cast<std::size_t>(
+        (*offsets_copy)[i % slots] + codes[i]);
+    for (std::size_t c = 0; c < d; ++c) out(i, c) = tv(row, c);
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, table, id, codes_copy, offsets_copy,
+                            slots] {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& gt = nodes_[table].grad;
+    for (std::size_t i = 0; i < codes_copy->size(); ++i) {
+      const std::size_t row = static_cast<std::size_t>(
+          (*offsets_copy)[i % slots] + (*codes_copy)[i]);
+      for (std::size_t c = 0; c < g.cols(); ++c) gt(row, c) += g(i, c);
+    }
+  };
+  return id;
+}
+
+int Graph::concat_tokens(int cls, const std::vector<int>& parts,
+                         const std::vector<int>& tokens_per_part,
+                         std::size_t batch) {
+  assert(parts.size() == tokens_per_part.size());
+  const Tensor& cv = nodes_[cls].value;
+  const std::size_t d = cv.cols();
+  int block = 1;
+  for (int t : tokens_per_part) block += t;
+  Tensor out(batch * static_cast<std::size_t>(block), d);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::size_t row = b * static_cast<std::size_t>(block);
+    for (std::size_t c = 0; c < d; ++c) out(row, c) = cv(0, c);
+    ++row;
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      const Tensor& pv = nodes_[parts[p]].value;
+      const auto t = static_cast<std::size_t>(tokens_per_part[p]);
+      for (std::size_t i = 0; i < t; ++i, ++row) {
+        for (std::size_t c = 0; c < d; ++c) out(row, c) = pv(b * t + i, c);
+      }
+    }
+  }
+  const int id = add_node(std::move(out), true, nullptr);
+  auto parts_copy = std::make_shared<std::vector<int>>(parts);
+  auto tokens_copy = std::make_shared<std::vector<int>>(tokens_per_part);
+  nodes_[id].backward_fn = [this, cls, id, parts_copy, tokens_copy, batch,
+                            block] {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& gc = nodes_[cls].grad;
+    const std::size_t d = g.cols();
+    for (std::size_t b = 0; b < batch; ++b) {
+      std::size_t row = b * static_cast<std::size_t>(block);
+      for (std::size_t c = 0; c < d; ++c) gc(0, c) += g(row, c);
+      ++row;
+      for (std::size_t p = 0; p < parts_copy->size(); ++p) {
+        Tensor& gp = nodes_[(*parts_copy)[p]].grad;
+        const auto t = static_cast<std::size_t>((*tokens_copy)[p]);
+        for (std::size_t i = 0; i < t; ++i, ++row) {
+          for (std::size_t c = 0; c < d; ++c) gp(b * t + i, c) += g(row, c);
+        }
+      }
+    }
+  };
+  return id;
+}
+
+int Graph::bce_with_logits(int logits, const std::vector<float>& targets,
+                           const std::vector<float>& weights) {
+  const Tensor& z = nodes_[logits].value;
+  assert(z.cols() == 1 && z.rows() == targets.size() &&
+         targets.size() == weights.size());
+  float weight_sum = 0.0f;
+  for (float w : weights) weight_sum += w;
+  if (weight_sum <= 0.0f) weight_sum = 1.0f;
+
+  double loss = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double zi = z(i, 0);
+    // Numerically stable: max(z,0) - z*y + log(1 + exp(-|z|)).
+    loss += weights[i] * (std::max(zi, 0.0) - zi * targets[i] +
+                          std::log1p(std::exp(-std::fabs(zi))));
+  }
+  Tensor out(1, 1);
+  out(0, 0) = static_cast<float>(loss / weight_sum);
+
+  auto targets_copy = std::make_shared<std::vector<float>>(targets);
+  auto weights_copy = std::make_shared<std::vector<float>>(weights);
+  const int id = add_node(std::move(out), true, nullptr);
+  nodes_[id].backward_fn = [this, logits, id, targets_copy, weights_copy,
+                            weight_sum] {
+    const float seed = nodes_[id].grad(0, 0);
+    const Tensor& z = nodes_[logits].value;
+    Tensor& gz = nodes_[logits].grad;
+    for (std::size_t i = 0; i < targets_copy->size(); ++i) {
+      const float p = 1.0f / (1.0f + std::exp(-z(i, 0)));
+      gz(i, 0) += seed * (*weights_copy)[i] * (p - (*targets_copy)[i]) /
+                  weight_sum;
+    }
+  };
+  return id;
+}
+
+void Graph::backward(int id) {
+  nodes_[id].grad.fill(1.0f);
+  for (int i = id; i >= 0; --i) {
+    if (nodes_[i].backward_fn) nodes_[i].backward_fn();
+  }
+}
+
+}  // namespace memfp::ml

@@ -1,0 +1,84 @@
+// Reverse-mode automatic differentiation over 2-D tensors.
+//
+// A Graph is a single-use tape: build the forward computation, call
+// backward() on the (scalar) loss node, read gradients off the leaves.
+// Token-structured ops (attention, tokenizers) treat the row dimension as
+// batch*tokens, which keeps every activation a plain 2-D tensor.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace memfp::ml {
+
+class Graph {
+ public:
+  /// Adds a leaf. If `requires_grad`, its gradient is accumulated and can be
+  /// read with grad() after backward().
+  int leaf(Tensor value, bool requires_grad);
+
+  const Tensor& value(int id) const { return nodes_[id].value; }
+  const Tensor& grad(int id) const { return nodes_[id].grad; }
+
+  // ---- arithmetic ----
+  int add(int a, int b);              ///< elementwise, same shape
+  int add_rowvec(int a, int b);       ///< b is 1 x cols, broadcast over rows
+  int matmul(int a, int b);           ///< (m,k) @ (k,n)
+  int scale(int a, float s);
+  int relu(int a);
+  int gelu(int a);                    ///< tanh approximation
+  int dropout(int a, float rate, Rng& rng);  ///< inverted dropout
+
+  // ---- normalization ----
+  /// Per-row layernorm with affine parameters gamma/beta (1 x cols).
+  int layernorm(int a, int gamma, int beta);
+
+  // ---- token-structured ops ----
+  /// Multi-head self-attention within each sample's token block.
+  /// q/k/v are (batch*tokens) x dim; dim % heads == 0.
+  int attention(int q, int k, int v, int tokens, int heads);
+  /// Selects row `offset` of every sample block: (batch*tokens) x d ->
+  /// batch x d.
+  int select_token(int a, int tokens, int offset);
+  /// Numeric feature tokenizer: x is batch x features (constant), w/b are
+  /// features x d. Output row b*features+j = x(b,j) * w[j] + bias[j].
+  int numeric_tokens(const Tensor& x, int w, int b);
+  /// Categorical embeddings: codes has batch x slots entries (flattened);
+  /// table is sum(cards) x d with per-slot row offsets. Output row
+  /// b*slots+s = table[offset[s] + code].
+  int categorical_tokens(const std::vector<int>& codes, std::size_t slots,
+                         int table, const std::vector<int>& offsets);
+  /// Concatenates per-sample token blocks: a CLS parameter (1 x d) is
+  /// prepended to each sample's tokens from each input (all
+  /// (batch*tokens_i) x d). Output block size = 1 + sum(tokens_i).
+  int concat_tokens(int cls, const std::vector<int>& parts,
+                    const std::vector<int>& tokens_per_part,
+                    std::size_t batch);
+
+  // ---- losses ----
+  /// Weighted binary cross-entropy with logits. `logits` is batch x 1.
+  /// Returns a 1x1 node holding the mean loss.
+  int bce_with_logits(int logits, const std::vector<float>& targets,
+                      const std::vector<float>& weights);
+
+  /// Runs reverse accumulation from `id` (seeds its grad with ones).
+  void backward(int id);
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    bool requires_grad = false;
+    std::function<void()> backward_fn;  // null for leaves
+  };
+
+  int add_node(Tensor value, bool requires_grad,
+               std::function<void()> backward_fn);
+  Tensor& grad_ref(int id) { return nodes_[id].grad; }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace memfp::ml

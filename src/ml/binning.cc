@@ -1,0 +1,79 @@
+#include "ml/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace memfp::ml {
+
+BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
+  BinMapper mapper;
+  const std::size_t features = dataset.x.cols();
+  mapper.thresholds_.resize(features);
+  const std::set<std::size_t> categorical(dataset.categorical.begin(),
+                                          dataset.categorical.end());
+
+  std::vector<float> column;
+  column.reserve(dataset.x.rows());
+  for (std::size_t f = 0; f < features; ++f) {
+    column.clear();
+    for (std::size_t r = 0; r < dataset.x.rows(); ++r) {
+      column.push_back(dataset.x.at(r, f));
+    }
+    std::sort(column.begin(), column.end());
+    column.erase(std::unique(column.begin(), column.end()), column.end());
+
+    std::vector<float>& thresholds = mapper.thresholds_[f];
+    if (column.size() <= 1) continue;  // constant feature: single bin
+
+    if (categorical.count(f) ||
+        static_cast<int>(column.size()) <= max_bins) {
+      // One bin per distinct value; thresholds halfway between neighbours.
+      for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+        thresholds.push_back((column[i] + column[i + 1]) * 0.5f);
+      }
+      continue;
+    }
+    // Quantile thresholds over distinct values.
+    for (int b = 1; b < max_bins; ++b) {
+      const double pos = static_cast<double>(b) *
+                         static_cast<double>(column.size() - 1) /
+                         static_cast<double>(max_bins);
+      const auto lo = static_cast<std::size_t>(pos);
+      const float threshold =
+          (column[lo] + column[std::min(lo + 1, column.size() - 1)]) * 0.5f;
+      if (thresholds.empty() || threshold > thresholds.back()) {
+        thresholds.push_back(threshold);
+      }
+    }
+  }
+  return mapper;
+}
+
+std::uint8_t BinMapper::bin(std::size_t feature, float value) const {
+  const std::vector<float>& thresholds = thresholds_[feature];
+  const auto it =
+      std::lower_bound(thresholds.begin(), thresholds.end(), value);
+  return static_cast<std::uint8_t>(it - thresholds.begin());
+}
+
+float BinMapper::threshold(std::size_t feature, int bin) const {
+  const std::vector<float>& thresholds = thresholds_[feature];
+  if (thresholds.empty()) return std::numeric_limits<float>::infinity();
+  const int clamped =
+      std::clamp(bin, 0, static_cast<int>(thresholds.size()) - 1);
+  return thresholds[static_cast<std::size_t>(clamped)];
+}
+
+std::vector<std::uint8_t> BinMapper::transform(const Matrix& x) const {
+  std::vector<std::uint8_t> binned(x.rows() * x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      binned[r * x.cols() + f] = bin(f, x.at(r, f));
+    }
+  }
+  return binned;
+}
+
+}  // namespace memfp::ml

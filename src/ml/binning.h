@@ -1,0 +1,41 @@
+// Quantile feature binning shared by the histogram tree learners (the same
+// trick LightGBM uses: map each float feature to a small integer bin once,
+// then train on uint8 codes with O(bins) split search).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace memfp::ml {
+
+class BinMapper {
+ public:
+  /// Learns up to `max_bins` quantile bins per feature from the dataset.
+  /// Categorical columns get one bin per category value.
+  static BinMapper fit(const Dataset& dataset, int max_bins = 48);
+
+  int bins(std::size_t feature) const {
+    return static_cast<int>(thresholds_[feature].size()) + 1;
+  }
+  std::size_t features() const { return thresholds_.size(); }
+
+  /// Bin index of a raw value.
+  std::uint8_t bin(std::size_t feature, float value) const;
+
+  /// The upper threshold of a bin (for model export/debugging); returns the
+  /// raw split value to compare with `<=`.
+  float threshold(std::size_t feature, int bin) const;
+
+  /// Bins a whole matrix (row-major uint8, same shape).
+  std::vector<std::uint8_t> transform(const Matrix& x) const;
+
+ private:
+  // thresholds_[f] sorted ascending; value v maps to the first bin whose
+  // threshold is >= v.
+  std::vector<std::vector<float>> thresholds_;
+};
+
+}  // namespace memfp::ml

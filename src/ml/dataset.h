@@ -1,0 +1,81 @@
+// Tabular dataset container and the split/resampling utilities used by the
+// prediction pipeline (split by DIMM, never by sample, so no DIMM leaks
+// across train/test; negatives are downsampled per DIMM the way the memory
+// failure prediction literature does).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "features/sample.h"
+
+namespace memfp::ml {
+
+/// Row-major float matrix with fixed column count.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::span<float> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  void push_row(std::span<const float> values);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Features + labels + sample provenance (DIMM, time) + per-sample weights.
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<float> weight;
+  std::vector<dram::DimmId> dimm;
+  std::vector<SimTime> time;
+  /// Indices of categorical columns (from the feature schema).
+  std::vector<std::size_t> categorical;
+
+  std::size_t size() const { return y.size(); }
+  std::size_t positives() const;
+
+  /// Keeps only the listed rows (in the given order).
+  Dataset select(const std::vector<std::size_t>& rows) const;
+};
+
+/// Builds a Dataset from trainable samples (label >= 0).
+Dataset make_dataset(const features::SampleSet& samples);
+
+/// Splits DIMM ids (not rows!) into train/test with the UE DIMMs stratified,
+/// so both sides get their share of scarce positives.
+struct DimmSplit {
+  std::vector<dram::DimmId> train;
+  std::vector<dram::DimmId> test;
+};
+DimmSplit split_dimms(const std::vector<dram::DimmId>& positive_dimms,
+                      const std::vector<dram::DimmId>& negative_dimms,
+                      double test_fraction, Rng& rng);
+
+/// Downsamples negative rows to `max_negatives_per_dimm` (uniformly chosen
+/// per DIMM) and keeps up to `max_positives_per_dimm` positive rows per DIMM
+/// (the latest ones, which carry the most pre-failure signal).
+Dataset downsample(const Dataset& dataset, std::size_t max_negatives_per_dimm,
+                   std::size_t max_positives_per_dimm, Rng& rng);
+
+/// Sets per-sample weights so the positive class carries `positive_share`
+/// of the total weight (class re-balancing for the imbalanced UE task).
+void rebalance_weights(Dataset& dataset, double positive_share);
+
+}  // namespace memfp::ml

@@ -1,0 +1,357 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace memfp::ml {
+
+BinnedDataset BinnedDataset::build(const Dataset& dataset, int max_bins) {
+  BinnedDataset binned;
+  binned.dataset = &dataset;
+  binned.mapper = BinMapper::fit(dataset, max_bins);
+  binned.codes = binned.mapper.transform(dataset.x);
+  return binned;
+}
+
+double Tree::predict(std::span<const float> features) const {
+  if (nodes_.empty()) return 0.0;
+  int index = 0;
+  while (nodes_[static_cast<std::size_t>(index)].feature >= 0) {
+    const TreeNode& node = nodes_[static_cast<std::size_t>(index)];
+    index = features[static_cast<std::size_t>(node.feature)] <= node.threshold
+                ? node.left
+                : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(index)].value;
+}
+
+std::size_t Tree::leaves() const {
+  std::size_t count = 0;
+  for (const TreeNode& node : nodes_) count += node.feature < 0;
+  return count;
+}
+
+Json Tree::to_json() const {
+  Json nodes = Json::array();
+  for (const TreeNode& node : nodes_) {
+    Json entry = Json::object();
+    entry.set("f", node.feature);
+    entry.set("t", static_cast<double>(node.threshold));
+    entry.set("l", node.left);
+    entry.set("r", node.right);
+    entry.set("v", node.value);
+    nodes.push_back(std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("nodes", std::move(nodes));
+  return out;
+}
+
+Tree Tree::from_json(const Json& json) {
+  Tree tree;
+  for (const Json& entry : json.at("nodes").as_array()) {
+    TreeNode node;
+    node.feature = static_cast<int>(entry.at("f").as_int());
+    node.threshold = static_cast<float>(entry.at("t").as_number());
+    node.left = static_cast<int>(entry.at("l").as_int());
+    node.right = static_cast<int>(entry.at("r").as_int());
+    node.value = entry.at("v").as_number();
+    tree.nodes_.push_back(node);
+  }
+  return tree;
+}
+
+namespace {
+
+/// Histogram of one feature over a node's rows.
+struct FeatureHistogram {
+  // Classification: sum of weights / positive weights per bin.
+  // Gradient: sum of grad / hess per bin (aliased onto the same arrays).
+  std::vector<double> a;  // weight total or grad
+  std::vector<double> b;  // positive weight or hess
+
+  void reset(int bins) {
+    a.assign(static_cast<std::size_t>(bins), 0.0);
+    b.assign(static_cast<std::size_t>(bins), 0.0);
+  }
+};
+
+double gini_impurity(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p) * total;  // weighted impurity mass
+}
+
+std::vector<std::size_t> sample_features(std::size_t count, double fraction,
+                                         Rng& rng) {
+  std::vector<std::size_t> features(count);
+  for (std::size_t i = 0; i < count; ++i) features[i] = i;
+  // Round (not floor): with very few features, flooring can silently strand
+  // every tree on a single column.
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(count) * fraction)));
+  if (keep >= count) return features;
+  rng.shuffle(features);
+  features.resize(keep);
+  std::sort(features.begin(), features.end());
+  return features;
+}
+
+}  // namespace
+
+Tree fit_classification_tree(const BinnedDataset& data,
+                             const std::vector<std::size_t>& rows,
+                             const ClassificationTreeParams& params,
+                             Rng& rng) {
+  const Dataset& dataset = *data.dataset;
+  const std::size_t features = dataset.x.cols();
+  Tree tree;
+  auto& nodes = tree.mutable_nodes();
+
+  struct Work {
+    int node;
+    std::vector<std::size_t> rows;
+    int depth;
+  };
+
+  const auto leaf_value = [&](const std::vector<std::size_t>& node_rows) {
+    double pos = 0.0, total = 0.0;
+    for (std::size_t r : node_rows) {
+      total += dataset.weight[r];
+      if (dataset.y[r] == 1) pos += dataset.weight[r];
+    }
+    return total > 0.0 ? pos / total : 0.0;
+  };
+
+  nodes.push_back({});
+  std::vector<Work> stack;
+  stack.push_back({0, rows, 0});
+
+  FeatureHistogram hist;
+  while (!stack.empty()) {
+    Work work = std::move(stack.back());
+    stack.pop_back();
+    TreeNode& node = nodes[static_cast<std::size_t>(work.node)];
+
+    double pos = 0.0, total = 0.0;
+    for (std::size_t r : work.rows) {
+      total += dataset.weight[r];
+      if (dataset.y[r] == 1) pos += dataset.weight[r];
+    }
+    const bool pure = pos <= 1e-12 || pos >= total - 1e-12;
+    if (work.depth >= params.max_depth || pure ||
+        total < 2.0 * params.min_samples_leaf) {
+      node.feature = -1;
+      node.value = total > 0.0 ? pos / total : 0.0;
+      continue;
+    }
+
+    // Best split over a random feature subset.
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    int best_bin = -1;
+    const double parent_impurity = gini_impurity(pos, total);
+    for (std::size_t f : sample_features(features, params.feature_fraction,
+                                         rng)) {
+      const int bins = data.mapper.bins(f);
+      if (bins < 2) continue;
+      hist.reset(bins);
+      for (std::size_t r : work.rows) {
+        const std::uint8_t code = data.code(r, f);
+        hist.a[code] += dataset.weight[r];
+        if (dataset.y[r] == 1) hist.b[code] += dataset.weight[r];
+      }
+      double left_total = 0.0, left_pos = 0.0;
+      for (int b = 0; b + 1 < bins; ++b) {
+        left_total += hist.a[static_cast<std::size_t>(b)];
+        left_pos += hist.b[static_cast<std::size_t>(b)];
+        const double right_total = total - left_total;
+        const double right_pos = pos - left_pos;
+        if (left_total < params.min_samples_leaf ||
+            right_total < params.min_samples_leaf) {
+          continue;
+        }
+        const double gain = parent_impurity -
+                            gini_impurity(left_pos, left_total) -
+                            gini_impurity(right_pos, right_total);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_bin = b;
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      node.feature = -1;
+      node.value = leaf_value(work.rows);
+      continue;
+    }
+
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : work.rows) {
+      (data.code(r, static_cast<std::size_t>(best_feature)) <=
+               static_cast<std::uint8_t>(best_bin)
+           ? left_rows
+           : right_rows)
+          .push_back(r);
+    }
+    // Reserve the child slots first: push_back may reallocate and would
+    // invalidate any reference into `nodes`.
+    const int left_index = static_cast<int>(nodes.size());
+    const int right_index = left_index + 1;
+    nodes.push_back({});
+    nodes.push_back({});
+    TreeNode& parent = nodes[static_cast<std::size_t>(work.node)];
+    parent.feature = best_feature;
+    parent.threshold =
+        data.mapper.threshold(static_cast<std::size_t>(best_feature), best_bin);
+    parent.left = left_index;
+    parent.right = right_index;
+    stack.push_back({left_index, std::move(left_rows), work.depth + 1});
+    stack.push_back({right_index, std::move(right_rows), work.depth + 1});
+  }
+  return tree;
+}
+
+Tree fit_gradient_tree(const BinnedDataset& data,
+                       const std::vector<std::size_t>& rows,
+                       std::span<const double> grad,
+                       std::span<const double> hess,
+                       const GradientTreeParams& params, Rng& rng) {
+  const Dataset& dataset = *data.dataset;
+  const std::size_t features = dataset.x.cols();
+  const std::vector<std::size_t> tree_features =
+      sample_features(features, params.feature_fraction, rng);
+
+  Tree tree;
+  auto& nodes = tree.mutable_nodes();
+
+  struct Candidate {
+    int node;
+    std::vector<std::size_t> rows;
+    int depth;
+    double gain;          // best achievable split gain
+    int feature = -1;
+    int bin = -1;
+    double g = 0.0, h = 0.0;
+  };
+
+  const auto leaf_score = [&](double g, double h) {
+    return -g / (h + params.lambda);
+  };
+  const auto node_objective = [&](double g, double h) {
+    return g * g / (h + params.lambda);
+  };
+
+  // Finds the best split for a candidate; fills feature/bin/gain.
+  FeatureHistogram hist;
+  const auto evaluate = [&](Candidate& cand) {
+    cand.g = 0.0;
+    cand.h = 0.0;
+    for (std::size_t r : cand.rows) {
+      cand.g += grad[r];
+      cand.h += hess[r];
+    }
+    cand.gain = 0.0;
+    cand.feature = -1;
+    if (cand.depth >= params.max_depth ||
+        cand.h < 2.0 * params.min_child_hessian) {
+      return;
+    }
+    const double parent = node_objective(cand.g, cand.h);
+    for (std::size_t f : tree_features) {
+      const int bins = data.mapper.bins(f);
+      if (bins < 2) continue;
+      hist.reset(bins);
+      for (std::size_t r : cand.rows) {
+        const std::uint8_t code = data.code(r, f);
+        hist.a[code] += grad[r];
+        hist.b[code] += hess[r];
+      }
+      double gl = 0.0, hl = 0.0;
+      for (int b = 0; b + 1 < bins; ++b) {
+        gl += hist.a[static_cast<std::size_t>(b)];
+        hl += hist.b[static_cast<std::size_t>(b)];
+        const double gr = cand.g - gl;
+        const double hr = cand.h - hl;
+        if (hl < params.min_child_hessian || hr < params.min_child_hessian) {
+          continue;
+        }
+        const double gain =
+            node_objective(gl, hl) + node_objective(gr, hr) - parent;
+        if (gain > cand.gain + 1e-12) {
+          cand.gain = gain;
+          cand.feature = static_cast<int>(f);
+          cand.bin = b;
+        }
+      }
+    }
+  };
+
+  nodes.push_back({});
+  Candidate root{0, rows, 0, 0.0};
+  evaluate(root);
+
+  // Leaf-wise growth: repeatedly split the frontier leaf with highest gain.
+  auto by_gain = [](const Candidate& a, const Candidate& b) {
+    return a.gain < b.gain;
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(by_gain)>
+      frontier(by_gain);
+  frontier.push(std::move(root));
+  int leaves = 1;
+
+  while (!frontier.empty() && leaves < params.max_leaves) {
+    Candidate cand = frontier.top();
+    frontier.pop();
+    if (cand.feature < 0 || cand.gain <= 1e-12) {
+      nodes[static_cast<std::size_t>(cand.node)].feature = -1;
+      nodes[static_cast<std::size_t>(cand.node)].value =
+          leaf_score(cand.g, cand.h);
+      continue;
+    }
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : cand.rows) {
+      (data.code(r, static_cast<std::size_t>(cand.feature)) <=
+               static_cast<std::uint8_t>(cand.bin)
+           ? left_rows
+           : right_rows)
+          .push_back(r);
+    }
+    const int left_index = static_cast<int>(nodes.size());
+    const int right_index = left_index + 1;
+    nodes.push_back({});
+    nodes.push_back({});
+    TreeNode& node = nodes[static_cast<std::size_t>(cand.node)];
+    node.feature = cand.feature;
+    node.threshold = data.mapper.threshold(
+        static_cast<std::size_t>(cand.feature), cand.bin);
+    node.left = left_index;
+    node.right = right_index;
+    ++leaves;  // one leaf became two
+
+    Candidate left{left_index, std::move(left_rows), cand.depth + 1, 0.0};
+    Candidate right{right_index, std::move(right_rows), cand.depth + 1, 0.0};
+    evaluate(left);
+    evaluate(right);
+    frontier.push(std::move(left));
+    frontier.push(std::move(right));
+  }
+
+  // Finalize any unexpanded frontier leaves.
+  while (!frontier.empty()) {
+    const Candidate& cand = frontier.top();
+    nodes[static_cast<std::size_t>(cand.node)].feature = -1;
+    nodes[static_cast<std::size_t>(cand.node)].value =
+        leaf_score(cand.g, cand.h);
+    frontier.pop();
+  }
+  return tree;
+}
+
+}  // namespace memfp::ml

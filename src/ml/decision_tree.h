@@ -1,0 +1,87 @@
+// Histogram-based decision trees.
+//
+// One tree structure serves two trainers:
+//  - ClassificationTreeTrainer: weighted-gini CART used by the random
+//    forest (depth-wise growth, per-split feature subsampling).
+//  - GradientTreeTrainer: second-order gradient trees used by the GBDT
+//    (leaf-wise, best-gain-first growth, as LightGBM grows its trees).
+//
+// Both search splits over pre-binned uint8 feature codes, so a split scan
+// is O(rows + bins) per feature. Inference walks raw float thresholds, so a
+// fitted tree needs no bin mapper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "ml/binning.h"
+#include "ml/dataset.h"
+
+namespace memfp::ml {
+
+/// Pre-binned view of a dataset shared by all trees in an ensemble.
+struct BinnedDataset {
+  const Dataset* dataset = nullptr;
+  BinMapper mapper;
+  std::vector<std::uint8_t> codes;  // rows x cols, row-major
+
+  static BinnedDataset build(const Dataset& dataset, int max_bins = 48);
+  std::uint8_t code(std::size_t row, std::size_t feature) const {
+    return codes[row * dataset->x.cols() + feature];
+  }
+};
+
+struct TreeNode {
+  int feature = -1;  ///< -1 marks a leaf
+  float threshold = 0.0f;
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  ///< leaf output
+};
+
+class Tree {
+ public:
+  double predict(std::span<const float> features) const;
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  std::vector<TreeNode>& mutable_nodes() { return nodes_; }
+  std::size_t leaves() const;
+
+  Json to_json() const;
+  static Tree from_json(const Json& json);
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+struct ClassificationTreeParams {
+  int max_depth = 12;
+  double min_samples_leaf = 8.0;  ///< by total weight
+  double feature_fraction = 0.6;  ///< per split
+};
+
+/// Fits a weighted-gini CART; leaf value = weighted positive fraction.
+/// `rows` selects the (bootstrap) subset to train on.
+Tree fit_classification_tree(const BinnedDataset& data,
+                             const std::vector<std::size_t>& rows,
+                             const ClassificationTreeParams& params, Rng& rng);
+
+struct GradientTreeParams {
+  int max_leaves = 31;
+  int max_depth = 12;
+  double min_child_hessian = 2.0;
+  double lambda = 1.0;            ///< L2 regularization on leaf values
+  double feature_fraction = 0.8;  ///< per tree
+};
+
+/// Fits a second-order gradient tree on (grad, hess); leaf value =
+/// -G / (H + lambda). `rows` selects the (subsampled) training rows.
+Tree fit_gradient_tree(const BinnedDataset& data,
+                       const std::vector<std::size_t>& rows,
+                       std::span<const double> grad,
+                       std::span<const double> hess,
+                       const GradientTreeParams& params, Rng& rng);
+
+}  // namespace memfp::ml

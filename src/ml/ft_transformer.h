@@ -1,0 +1,83 @@
+// FT-Transformer (Gorishniy et al., NeurIPS'21) for tabular failure
+// prediction: every numeric feature becomes a learned linear token, every
+// categorical feature an embedding token; a CLS token attends over all of
+// them through pre-norm transformer blocks and feeds a binary head.
+//
+// Sized for a single-core reproduction budget: small d_model, two blocks,
+// capped training subsample — the same algorithm family, scaled down.
+#pragma once
+
+#include "ml/model.h"
+#include "ml/nn.h"
+
+namespace memfp::ml {
+
+struct FtTransformerParams {
+  int d_model = 16;
+  int heads = 2;
+  int blocks = 2;
+  int ffn_multiplier = 2;
+  double dropout = 0.10;
+
+  int epochs = 20;
+  int batch_size = 256;
+  double lr = 3e-3;
+  double weight_decay = 1e-5;
+  int early_stopping_epochs = 5;
+  double validation_fraction = 0.15;
+  /// Training rows are subsampled to this cap (keeping all positives).
+  std::size_t max_train_rows = 9000;
+};
+
+class FtTransformer final : public BinaryClassifier {
+ public:
+  explicit FtTransformer(FtTransformerParams params = {});
+
+  void fit(const Dataset& train, Rng& rng) override;
+  double predict(std::span<const float> features) const override;
+  std::vector<double> predict_batch(const Matrix& x) const override;
+  std::string name() const override { return "FT-Transformer"; }
+  Json to_json() const override;
+
+ private:
+  struct Block {
+    Param ln1_gamma, ln1_beta;
+    Param wq, wk, wv, wo;
+    Param ln2_gamma, ln2_beta;
+    Param ffn_w1, ffn_b1, ffn_w2, ffn_b2;
+  };
+
+  void build_parameters(Rng& rng);
+  std::vector<Param*> all_params();
+  std::vector<const Param*> all_params() const;
+
+  /// Splits a raw feature row into standardized numerics + clamped codes.
+  void preprocess(std::span<const float> row, std::vector<float>& numeric,
+                  std::vector<int>& codes) const;
+
+  /// Builds the forward graph for a batch; returns the logits node.
+  int forward(Graph& graph, const BoundParams& bound, const Tensor& numeric,
+              const std::vector<int>& codes, std::size_t batch, bool train,
+              Rng& rng) const;
+
+  FtTransformerParams params_;
+
+  // Preprocessing state learned at fit time.
+  std::vector<std::size_t> numeric_index_;
+  std::vector<std::size_t> categorical_index_;
+  std::vector<int> cardinalities_;
+  std::vector<int> table_offsets_;
+  std::vector<float> numeric_mean_;
+  std::vector<float> numeric_std_;
+
+  // Parameters.
+  Param numeric_w_, numeric_b_;
+  Param cat_table_;
+  Param cls_;
+  std::vector<Block> blocks_;
+  Param final_gamma_, final_beta_;
+  Param head_w_, head_b_;
+  bool fitted_ = false;
+};
+
+}  // namespace memfp::ml

@@ -1,0 +1,51 @@
+// Evaluation metrics for failure prediction (paper Section IV): precision,
+// recall, F1 and the VM Interruption Reduction Rate (VIRR), plus
+// threshold-sweep utilities and PR-AUC for model selection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace memfp::ml {
+
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t tn = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  /// VIRR = (1 - y_c / precision) * recall [29]. Negative when precision
+  /// falls below the cold-migration fraction y_c: the predictor then causes
+  /// more VM interruptions than it prevents.
+  double virr(double cold_migration_fraction = 0.1) const;
+};
+
+/// Confusion at a score threshold (score >= threshold -> positive).
+Confusion confusion_at(const std::vector<double>& scores,
+                       const std::vector<int>& labels, double threshold);
+
+struct ThresholdChoice {
+  double threshold = 0.5;
+  Confusion confusion;
+};
+
+/// Scans candidate thresholds and returns the F1-maximizing one.
+ThresholdChoice best_f1_threshold(const std::vector<double>& scores,
+                                  const std::vector<int>& labels);
+
+/// Area under the precision-recall curve (average precision).
+double pr_auc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Area under the ROC curve.
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels);
+
+/// Binary cross-entropy of probability scores.
+double log_loss(const std::vector<double>& scores,
+                const std::vector<int>& labels);
+
+}  // namespace memfp::ml

@@ -1,0 +1,36 @@
+// Common interface for the binary failure-prediction models (Random Forest,
+// GBDT/"LightGBM", FT-Transformer, and the rule baseline via an adapter).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace memfp::ml {
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on the dataset (weights respected). Deterministic given `rng`.
+  virtual void fit(const Dataset& train, Rng& rng) = 0;
+
+  /// P(label = 1) for one feature row.
+  virtual double predict(std::span<const float> features) const = 0;
+
+  /// Batch prediction; the default loops, models may override with faster
+  /// batched paths.
+  virtual std::vector<double> predict_batch(const Matrix& x) const;
+
+  virtual std::string name() const = 0;
+
+  /// Serializes the fitted model (for the MLOps model registry).
+  virtual Json to_json() const = 0;
+};
+
+}  // namespace memfp::ml

@@ -1,0 +1,41 @@
+#include "ml/nn.h"
+
+#include <cmath>
+
+namespace memfp::ml {
+
+void Adam::update(Param& param, const Tensor& grad) const {
+  const double bc1 = 1.0 - std::pow(params_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(params_.beta2, static_cast<double>(step_));
+  float* value = param.value.data();
+  float* m = param.m.data();
+  float* v = param.v.data();
+  const float* g = grad.data();
+  for (std::size_t i = 0; i < param.value.size(); ++i) {
+    m[i] = static_cast<float>(params_.beta1 * m[i] +
+                              (1.0 - params_.beta1) * g[i]);
+    v[i] = static_cast<float>(params_.beta2 * v[i] +
+                              (1.0 - params_.beta2) * g[i] * g[i]);
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    value[i] -= static_cast<float>(
+        params_.lr * (mhat / (std::sqrt(vhat) + params_.eps) +
+                      params_.weight_decay * value[i]));
+  }
+}
+
+BoundParams::BoundParams(Graph& graph, std::vector<Param*> params)
+    : graph_(&graph), params_(std::move(params)) {
+  ids_.reserve(params_.size());
+  for (Param* param : params_) {
+    ids_.push_back(graph_->leaf(param->value, /*requires_grad=*/true));
+  }
+}
+
+void BoundParams::apply(Adam& adam) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    adam.update(*params_[i], graph_->grad(ids_[i]));
+  }
+}
+
+}  // namespace memfp::ml

@@ -1,0 +1,63 @@
+// Parameter container and Adam optimizer for the neural models.
+#pragma once
+
+#include <vector>
+
+#include "ml/autodiff.h"
+#include "ml/tensor.h"
+
+namespace memfp::ml {
+
+/// A trainable tensor plus its Adam moment estimates.
+struct Param {
+  Tensor value;
+  Tensor m;
+  Tensor v;
+
+  Param() = default;
+  explicit Param(Tensor initial)
+      : value(std::move(initial)),
+        m(value.rows(), value.cols()),
+        v(value.rows(), value.cols()) {}
+};
+
+struct AdamParams {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW)
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamParams params = {}) : params_(params) {}
+
+  /// Advances the shared step counter (bias correction).
+  void begin_step() { ++step_; }
+
+  /// Applies one Adam update to `param` using `grad`.
+  void update(Param& param, const Tensor& grad) const;
+
+  const AdamParams& params() const { return params_; }
+
+ private:
+  AdamParams params_;
+  long step_ = 0;
+};
+
+/// Binds a set of parameters as differentiable graph leaves; after
+/// Graph::backward, apply() folds the accumulated gradients back via Adam.
+class BoundParams {
+ public:
+  BoundParams(Graph& graph, std::vector<Param*> params);
+  int id(std::size_t index) const { return ids_[index]; }
+  void apply(Adam& adam) const;
+
+ private:
+  Graph* graph_;
+  std::vector<Param*> params_;
+  std::vector<int> ids_;
+};
+
+}  // namespace memfp::ml

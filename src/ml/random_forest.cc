@@ -1,0 +1,57 @@
+#include "ml/random_forest.h"
+
+namespace memfp::ml {
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params) {}
+
+void RandomForest::fit(const Dataset& train, Rng& rng) {
+  trees_.clear();
+  const BinnedDataset binned = BinnedDataset::build(train);
+  const auto sample_size = static_cast<std::size_t>(
+      static_cast<double>(train.size()) * params_.bootstrap_fraction);
+  for (int t = 0; t < params_.trees; ++t) {
+    std::vector<std::size_t> rows(sample_size);
+    for (std::size_t& r : rows) r = rng.uniform_u64(train.size());
+    trees_.push_back(fit_classification_tree(binned, rows, params_.tree, rng));
+  }
+}
+
+double RandomForest::predict(std::span<const float> features) const {
+  if (trees_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Tree& tree : trees_) total += tree.predict(features);
+  return total / static_cast<double>(trees_.size());
+}
+
+Json RandomForest::to_json() const {
+  Json trees = Json::array();
+  for (const Tree& tree : trees_) trees.push_back(tree.to_json());
+  Json out = Json::object();
+  out.set("type", "random_forest");
+  out.set("trees", std::move(trees));
+  return out;
+}
+
+RandomForest RandomForest::from_json(const Json& json) {
+  RandomForest model;
+  for (const Json& tree : json.at("trees").as_array()) {
+    model.trees_.push_back(Tree::from_json(tree));
+  }
+  return model;
+}
+
+std::vector<double> RandomForest::feature_split_counts(
+    std::size_t features) const {
+  std::vector<double> counts(features, 0.0);
+  for (const Tree& tree : trees_) {
+    for (const TreeNode& node : tree.nodes()) {
+      if (node.feature >= 0 &&
+          static_cast<std::size_t>(node.feature) < features) {
+        counts[static_cast<std::size_t>(node.feature)] += 1.0;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace memfp::ml

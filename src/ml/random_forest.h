@@ -1,0 +1,37 @@
+// Random forest classifier: bagged weighted-gini CARTs with per-split
+// feature subsampling, probability output by tree averaging.
+#pragma once
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace memfp::ml {
+
+struct RandomForestParams {
+  int trees = 150;
+  ClassificationTreeParams tree;
+  double bootstrap_fraction = 1.0;  ///< bootstrap sample size vs dataset
+};
+
+class RandomForest final : public BinaryClassifier {
+ public:
+  explicit RandomForest(RandomForestParams params = {});
+
+  void fit(const Dataset& train, Rng& rng) override;
+  double predict(std::span<const float> features) const override;
+  std::string name() const override { return "Random forest"; }
+  Json to_json() const override;
+  static RandomForest from_json(const Json& json);
+
+  const std::vector<Tree>& trees() const { return trees_; }
+
+  /// Mean decrease in impurity usage count per feature (split frequency),
+  /// a cheap importance proxy for the monitoring dashboards.
+  std::vector<double> feature_split_counts(std::size_t features) const;
+
+ private:
+  RandomForestParams params_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace memfp::ml

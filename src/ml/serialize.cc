@@ -1,0 +1,32 @@
+#include "ml/serialize.h"
+
+#include <stdexcept>
+
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+
+namespace memfp::ml {
+
+std::vector<double> BinaryClassifier::predict_batch(const Matrix& x) const {
+  std::vector<double> scores;
+  scores.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    scores.push_back(predict(x.row(r)));
+  }
+  return scores;
+}
+
+std::unique_ptr<BinaryClassifier> model_from_json(const Json& json) {
+  const std::string& type = json.at("type").as_string();
+  if (type == "random_forest") {
+    return std::make_unique<RandomForest>(RandomForest::from_json(json));
+  }
+  if (type == "gbdt") {
+    return std::make_unique<Gbdt>(Gbdt::from_json(json));
+  }
+  // The FT-Transformer export is a weights-only dump for registry storage;
+  // reconstruction is not supported (retrain from the feature store).
+  throw std::runtime_error("model_from_json: unsupported model type " + type);
+}
+
+}  // namespace memfp::ml

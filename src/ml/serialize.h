@@ -1,0 +1,16 @@
+// Model (de)serialization for the MLOps model registry.
+#pragma once
+
+#include <memory>
+
+#include "common/json.h"
+#include "ml/model.h"
+
+namespace memfp::ml {
+
+/// Reconstructs a fitted model from its to_json() form. Supports the tree
+/// ensembles (random_forest, gbdt); throws std::runtime_error for types
+/// whose export is weights-only (ft_transformer).
+std::unique_ptr<BinaryClassifier> model_from_json(const Json& json);
+
+}  // namespace memfp::ml

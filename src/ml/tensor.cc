@@ -1,0 +1,93 @@
+#include "ml/tensor.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace memfp::ml {
+
+void Tensor::zero() { std::memset(data_.data(), 0, data_.size() * sizeof(float)); }
+
+void Tensor::fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+Tensor Tensor::random_uniform(std::size_t rows, std::size_t cols, float bound,
+                              Rng& rng) {
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  return t;
+}
+
+// Simple ikj-ordered kernels: cache-friendly enough for the model sizes in
+// this project (d_model <= 64), and trivially correct.
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (!accumulate) {
+    out = Tensor(m, n);
+  } else {
+    assert(out.rows() == m && out.cols() == n);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out.data() + i * n;
+    const float* a_row = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void gemm_at(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  assert(a.rows() == b.rows());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (!accumulate) {
+    out = Tensor(m, n);
+  } else {
+    assert(out.rows() == m && out.cols() == n);
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a.data() + p * m;
+    const float* b_row = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void gemm_bt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (!accumulate) {
+    out = Tensor(m, n);
+  } else {
+    assert(out.rows() == m && out.cols() == n);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* out_row = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] += acc;
+    }
+  }
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  const float* xs = x.data();
+  float* ys = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) ys[i] += alpha * xs[i];
+}
+
+}  // namespace memfp::ml

@@ -1,0 +1,62 @@
+// Dense 2-D float tensor with the handful of BLAS-like kernels the neural
+// network needs. Deliberately minimal: row-major, no views, no broadcasting
+// beyond what the autodiff ops implement explicitly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace memfp::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> row(std::size_t r) { return {data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const {
+    return {data() + r * cols_, cols_};
+  }
+
+  void zero();
+  void fill(float value);
+
+  /// Kaiming-uniform style init in [-bound, bound] with bound = 1/sqrt(fan_in).
+  static Tensor random_uniform(std::size_t rows, std::size_t cols,
+                               float bound, Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a @ b. Shapes: (m,k) @ (k,n) -> (m,n). `accumulate` adds into out.
+void gemm(const Tensor& a, const Tensor& b, Tensor& out,
+          bool accumulate = false);
+/// out = a^T @ b. Shapes: (k,m)^T @ (k,n) -> (m,n).
+void gemm_at(const Tensor& a, const Tensor& b, Tensor& out,
+             bool accumulate = false);
+/// out = a @ b^T. Shapes: (m,k) @ (n,k)^T -> (m,n).
+void gemm_bt(const Tensor& a, const Tensor& b, Tensor& out,
+             bool accumulate = false);
+/// y += alpha * x (same shape).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+}  // namespace memfp::ml

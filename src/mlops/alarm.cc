@@ -1,0 +1,56 @@
+#include "mlops/alarm.h"
+
+namespace memfp::mlops {
+
+void AlarmSystem::raise(dram::DimmId dimm, SimTime time, double score) {
+  for (const Alarm& alarm : alarms_) {
+    if (alarm.dimm == dimm) return;  // mitigation already in flight
+  }
+  alarms_.push_back({dimm, time, score});
+}
+
+std::optional<SimTime> AlarmSystem::first_alarm(dram::DimmId dimm) const {
+  for (const Alarm& alarm : alarms_) {
+    if (alarm.dimm == dimm) return alarm.time;
+  }
+  return std::nullopt;
+}
+
+MitigationReport account_mitigations(
+    const sim::FleetTrace& fleet, const AlarmSystem& alarms,
+    const features::PredictionWindows& windows,
+    const MitigationPolicy& policy) {
+  MitigationReport report;
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    const std::optional<SimTime> alarm = alarms.first_alarm(dimm.id);
+    if (dimm.predictable_ue()) {
+      const SimTime ue = dimm.ue->time;
+      const bool timely = alarm && ue - *alarm >= windows.lead &&
+                          ue - *alarm <= windows.lead + windows.prediction;
+      if (timely) {
+        ++report.true_positives;
+      } else {
+        ++report.false_negatives;
+        if (alarm) ++report.false_positives;  // migration spent for nothing
+      }
+    } else if (alarm) {
+      ++report.false_positives;
+    }
+  }
+  const double va = policy.vms_per_server;
+  const double yc = policy.cold_migration_fraction;
+  const auto tp = static_cast<double>(report.true_positives);
+  const auto fp = static_cast<double>(report.false_positives);
+  const auto fn = static_cast<double>(report.false_negatives);
+  report.interruptions_without_prediction = va * (tp + fn);
+  report.interruptions_with_prediction = va * yc * (tp + fp) + va * fn;
+  report.realized_virr =
+      report.interruptions_without_prediction <= 0.0
+          ? 0.0
+          : (report.interruptions_without_prediction -
+             report.interruptions_with_prediction) /
+                report.interruptions_without_prediction;
+  return report;
+}
+
+}  // namespace memfp::mlops

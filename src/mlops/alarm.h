@@ -1,0 +1,59 @@
+// Cloud Service stage (paper Fig 2 and Fig 6): the alarm system receives
+// failure predictions, the mitigation simulator turns alarms + ground truth
+// into VM-interruption accounting — the realized VIRR, as opposed to the
+// analytic (1 - y_c/precision) * recall formula.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "dram/events.h"
+#include "features/windows.h"
+#include "sim/trace.h"
+
+namespace memfp::mlops {
+
+struct Alarm {
+  dram::DimmId dimm = 0;
+  SimTime time = 0;
+  double score = 0.0;
+};
+
+class AlarmSystem {
+ public:
+  /// Records an alarm; repeat alarms for the same DIMM are coalesced (the
+  /// mitigation is already in flight).
+  void raise(dram::DimmId dimm, SimTime time, double score);
+
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+  std::optional<SimTime> first_alarm(dram::DimmId dimm) const;
+
+ private:
+  std::vector<Alarm> alarms_;
+};
+
+struct MitigationPolicy {
+  double vms_per_server = 10.0;          ///< V_a
+  double cold_migration_fraction = 0.1;  ///< y_c (paper's conservative value)
+};
+
+/// VM interruption accounting for one evaluated fleet.
+struct MitigationReport {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  double interruptions_without_prediction = 0.0;  ///< V  = V_a (TP + FN)
+  double interruptions_with_prediction = 0.0;     ///< V' = V_a y_c (TP+FP) + V_a FN
+  double realized_virr = 0.0;                     ///< (V - V') / V
+};
+
+/// Joins alarms with ground-truth UEs under the lead/validity window rules
+/// and computes the interruption balance.
+MitigationReport account_mitigations(const sim::FleetTrace& fleet,
+                                     const AlarmSystem& alarms,
+                                     const features::PredictionWindows& windows,
+                                     const MitigationPolicy& policy = {});
+
+}  // namespace memfp::mlops

@@ -1,0 +1,63 @@
+#include "mlops/automl.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "ml/metrics.h"
+
+namespace memfp::mlops {
+
+AutoMlReport tune_gbdt(const ml::Dataset& train, const AutoMlConfig& config) {
+  Rng rng(config.seed);
+
+  // Holdout split by row (the caller already split by DIMM upstream).
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const auto holdout = static_cast<std::size_t>(
+      static_cast<double>(order.size()) * config.holdout_fraction);
+  const std::vector<std::size_t> val_rows(
+      order.begin(), order.begin() + static_cast<std::ptrdiff_t>(holdout));
+  const std::vector<std::size_t> fit_rows(
+      order.begin() + static_cast<std::ptrdiff_t>(holdout), order.end());
+  const ml::Dataset fit_set = train.select(fit_rows);
+  const ml::Dataset val_set = train.select(val_rows);
+
+  std::vector<int> val_labels = val_set.y;
+
+  AutoMlReport report;
+  report.best_logloss = std::numeric_limits<double>::max();
+  for (int trial = 0; trial < config.trials; ++trial) {
+    ml::GbdtParams params;
+    params.learning_rate = rng.uniform(0.03, 0.15);
+    const int leaf_options[] = {15, 31, 63};
+    params.tree.max_leaves = leaf_options[rng.uniform_u64(3)];
+    params.tree.feature_fraction = rng.uniform(0.5, 1.0);
+    params.tree.min_child_hessian = rng.uniform(1.0, 4.0);
+    params.subsample = rng.uniform(0.6, 1.0);
+    params.max_rounds = 150;
+    params.early_stopping_rounds = 20;
+
+    ml::Gbdt model(params);
+    Rng fit_rng = rng.fork();
+    model.fit(fit_set, fit_rng);
+    const std::vector<double> scores = model.predict_batch(val_set.x);
+
+    AutoMlTrial result;
+    result.params = params;
+    result.validation_logloss = ml::log_loss(scores, val_labels);
+    result.validation_pr_auc = ml::pr_auc(scores, val_labels);
+    if (result.validation_logloss < report.best_logloss) {
+      report.best_logloss = result.validation_logloss;
+      report.best = params;
+    }
+    MEMFP_DEBUG << "automl trial " << trial << ": lr "
+                << params.learning_rate << ", leaves "
+                << params.tree.max_leaves << " -> logloss "
+                << result.validation_logloss;
+    report.trials.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace memfp::mlops

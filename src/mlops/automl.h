@@ -1,0 +1,36 @@
+// AutoML stage of the training pipeline (paper Fig 6, "ML Deployment":
+// algorithm selection and hyperparameter tuning, manual or via AutoML).
+// Random search over the GBDT hyperparameter space with a holdout fold,
+// scored by validation logloss.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+
+namespace memfp::mlops {
+
+struct AutoMlConfig {
+  int trials = 12;
+  double holdout_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+struct AutoMlTrial {
+  ml::GbdtParams params;
+  double validation_logloss = 0.0;
+  double validation_pr_auc = 0.0;
+};
+
+struct AutoMlReport {
+  std::vector<AutoMlTrial> trials;  ///< in execution order
+  ml::GbdtParams best;
+  double best_logloss = 0.0;
+};
+
+/// Random-search tunes a GBDT on `train`. Deterministic in config.seed.
+AutoMlReport tune_gbdt(const ml::Dataset& train, const AutoMlConfig& config);
+
+}  // namespace memfp::mlops

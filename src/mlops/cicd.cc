@@ -1,0 +1,39 @@
+#include "mlops/cicd.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace memfp::mlops {
+
+TrainingRunReport run_training_pipeline(const DataLake& lake,
+                                        const std::string& partition,
+                                        ModelRegistry& registry,
+                                        const TrainingPipelineConfig& config) {
+  if (config.algorithm == core::Algorithm::kRiskyCePattern) {
+    throw std::invalid_argument(
+        "run_training_pipeline: the rule baseline is not deployable");
+  }
+  const sim::FleetTrace& fleet = lake.get(partition);
+  core::Experiment experiment(fleet, config.pipeline);
+  auto [result, model] = experiment.run_with_model(config.algorithm);
+
+  ModelVersion version;
+  version.platform = fleet.platform;
+  version.algorithm = result.algorithm;
+  version.benchmark_f1 = result.f1;
+  version.benchmark_virr = result.virr;
+  version.threshold = result.threshold;
+  version.artifact = model->to_json();
+
+  TrainingRunReport report;
+  report.evaluation = result;
+  report.version = registry.add(std::move(version));
+  report.promoted = registry.promote(report.version, config.min_improvement);
+  MEMFP_INFO << "cicd: trained " << result.algorithm << " on " << partition
+             << " (F1 " << result.f1 << "), version " << report.version
+             << (report.promoted ? " promoted" : " held in staging");
+  return report;
+}
+
+}  // namespace memfp::mlops

@@ -1,0 +1,36 @@
+// CI/CD stage (paper Fig 6): the automated training pipeline. Trains a
+// candidate on a lake partition, benchmarks it with the paper's DIMM-level
+// protocol, registers the artifact, and promotes it through the benchmark
+// gate. Data Scientists iterate by calling this; MLOps engineers wire it to
+// a schedule.
+#pragma once
+
+#include "core/pipeline.h"
+#include "mlops/data_lake.h"
+#include "mlops/model_registry.h"
+
+namespace memfp::mlops {
+
+struct TrainingPipelineConfig {
+  core::Algorithm algorithm = core::Algorithm::kLightGbm;
+  core::PipelineConfig pipeline;
+  /// Promotion gate: candidate F1 must beat production by at least this.
+  double min_improvement = 0.0;
+};
+
+struct TrainingRunReport {
+  int version = 0;
+  core::Experiment::Result evaluation;
+  bool promoted = false;
+};
+
+/// Runs one end-to-end training + registration + gated promotion cycle on a
+/// lake partition. Throws std::out_of_range for a missing partition and
+/// std::invalid_argument for the trace-based rule baseline (it is not a
+/// deployable feature-vector model).
+TrainingRunReport run_training_pipeline(const DataLake& lake,
+                                        const std::string& partition,
+                                        ModelRegistry& registry,
+                                        const TrainingPipelineConfig& config);
+
+}  // namespace memfp::mlops

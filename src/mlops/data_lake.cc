@@ -1,0 +1,40 @@
+#include "mlops/data_lake.h"
+
+#include <stdexcept>
+
+namespace memfp::mlops {
+
+void DataLake::ingest(const std::string& partition, sim::FleetTrace trace) {
+  partitions_[partition] = std::move(trace);
+}
+
+bool DataLake::contains(const std::string& partition) const {
+  return partitions_.count(partition) > 0;
+}
+
+const sim::FleetTrace& DataLake::get(const std::string& partition) const {
+  const auto it = partitions_.find(partition);
+  if (it == partitions_.end()) {
+    throw std::out_of_range("DataLake: no partition " + partition);
+  }
+  return it->second;
+}
+
+std::vector<std::string> DataLake::partitions() const {
+  std::vector<std::string> keys;
+  keys.reserve(partitions_.size());
+  for (const auto& [key, value] : partitions_) keys.push_back(key);
+  return keys;
+}
+
+std::size_t DataLake::record_count() const {
+  std::size_t total = 0;
+  for (const auto& [key, fleet] : partitions_) {
+    for (const sim::DimmTrace& dimm : fleet.dimms) {
+      total += dimm.ces.size() + dimm.events.size() + (dimm.ue ? 1 : 0);
+    }
+  }
+  return total;
+}
+
+}  // namespace memfp::mlops

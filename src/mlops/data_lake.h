@@ -1,0 +1,33 @@
+// Data Pipeline stage of the MLOps framework (paper Fig 6): raw telemetry
+// from the BMC collectors lands in an append-only, source-partitioned lake.
+// An in-process stand-in for Huawei's DLI: same dataflow, no cluster.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace memfp::mlops {
+
+class DataLake {
+ public:
+  /// Appends a fleet snapshot under a partition key, e.g. "bmc/purley/2023H1".
+  /// Re-ingesting an existing partition replaces it (idempotent backfills).
+  void ingest(const std::string& partition, sim::FleetTrace trace);
+
+  bool contains(const std::string& partition) const;
+  /// Throws std::out_of_range when the partition is missing.
+  const sim::FleetTrace& get(const std::string& partition) const;
+  std::vector<std::string> partitions() const;
+
+  /// Total raw records (CE + UE + events) across all partitions — the
+  /// ingest-rate counter surfaced by the monitoring dashboards.
+  std::size_t record_count() const;
+
+ private:
+  std::map<std::string, sim::FleetTrace> partitions_;
+};
+
+}  // namespace memfp::mlops

@@ -1,0 +1,44 @@
+// Feature Store stage (paper Fig 6): a catalog of feature definitions, a
+// batch transformation path for model training, and a streaming serving path
+// for online prediction — with a verifiable training/serving consistency
+// guarantee (both paths run the same extractor).
+#pragma once
+
+#include "common/json.h"
+#include "features/extractor.h"
+#include "sim/trace.h"
+
+namespace memfp::mlops {
+
+class FeatureStore {
+ public:
+  explicit FeatureStore(features::PredictionWindows windows = {});
+
+  /// Registered feature catalog: name, group, type, version.
+  Json catalog() const;
+  const features::FeatureSchema& schema() const {
+    return extractor_.schema();
+  }
+
+  /// Batch transformation: labeled samples for training (one DIMM's trace).
+  std::vector<features::Sample> batch_transform(const sim::DimmTrace& trace,
+                                                SimTime horizon) const;
+
+  /// Streaming serving: point-in-time-correct features for online scoring.
+  std::vector<float> serve(const sim::DimmTrace& trace, SimTime t) const;
+
+  /// Training/serving consistency check: the batch row at time t must equal
+  /// the served vector bit-for-bit. Returns false on any divergence.
+  bool check_consistency(const sim::DimmTrace& trace, SimTime t,
+                         SimTime horizon) const;
+
+  const features::PredictionWindows& windows() const {
+    return extractor_.windows();
+  }
+
+ private:
+  features::FeatureExtractor extractor_;
+  int catalog_version_ = 1;
+};
+
+}  // namespace memfp::mlops

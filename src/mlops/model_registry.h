@@ -1,0 +1,53 @@
+// ML Deployment stage (paper Fig 6): versioned model artifacts with
+// benchmark-gated promotion from staging to production.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "dram/geometry.h"
+
+namespace memfp::mlops {
+
+enum class ModelStage { kStaging, kProduction, kArchived };
+
+const char* stage_name(ModelStage stage);
+
+struct ModelVersion {
+  int version = 0;
+  dram::Platform platform = dram::Platform::kIntelPurley;
+  std::string algorithm;
+  double benchmark_f1 = 0.0;
+  double benchmark_virr = 0.0;
+  double threshold = 0.5;
+  ModelStage stage = ModelStage::kStaging;
+  Json artifact;  ///< serialized model (ml::model_from_json-compatible)
+};
+
+class ModelRegistry {
+ public:
+  /// Registers a new version (enters staging). Returns the version number.
+  int add(ModelVersion version);
+
+  /// Benchmark gate: promotes `version` to production iff its F1 beats the
+  /// current production model's by at least `min_improvement` (or there is
+  /// no production model). The displaced model is archived.
+  bool promote(int version, double min_improvement = 0.0);
+
+  const ModelVersion* production(dram::Platform platform) const;
+  const ModelVersion* get(int version) const;
+  std::vector<const ModelVersion*> versions(dram::Platform platform) const;
+
+  /// Durable registry metadata + artifacts.
+  Json to_json() const;
+  static ModelRegistry from_json(const Json& json);
+
+ private:
+  int next_version_ = 1;
+  std::map<int, ModelVersion> versions_;
+};
+
+}  // namespace memfp::mlops

@@ -1,0 +1,62 @@
+#include "mlops/monitoring.h"
+
+#include "common/stats.h"
+#include "common/string_utils.h"
+#include "common/table.h"
+
+namespace memfp::mlops {
+
+void Monitoring::record_prediction(double score) {
+  ++predictions_;
+  current_scores_.push_back(score);
+}
+
+void Monitoring::record_alarm_feedback(bool was_true_positive) {
+  if (was_true_positive) ++feedback_tp_;
+  else ++feedback_fp_;
+}
+
+double Monitoring::online_precision() const {
+  const std::size_t total = feedback_tp_ + feedback_fp_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(feedback_tp_) /
+                          static_cast<double>(total);
+}
+
+double Monitoring::online_recall() const {
+  const std::size_t total = feedback_tp_ + missed_failures_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(feedback_tp_) /
+                          static_cast<double>(total);
+}
+
+void Monitoring::freeze_reference() {
+  reference_scores_ = std::move(current_scores_);
+  current_scores_.clear();
+}
+
+double Monitoring::score_psi() const {
+  if (reference_scores_.empty() || current_scores_.empty()) return 0.0;
+  return population_stability_index(reference_scores_, current_scores_, 10);
+}
+
+bool Monitoring::drift_detected(double threshold) const {
+  return score_psi() > threshold;
+}
+
+std::string Monitoring::dashboard() const {
+  TextTable table("MLOps Monitoring Dashboard");
+  table.set_header({"signal", "value"});
+  table.add_row({"raw records ingested", std::to_string(ingested_)});
+  table.add_row({"predictions served", std::to_string(predictions_)});
+  table.add_row({"alarms raised", std::to_string(alarms_)});
+  table.add_row({"online precision (feedback)",
+                 format_double(online_precision(), 3)});
+  table.add_row({"online recall (feedback)",
+                 format_double(online_recall(), 3)});
+  table.add_row({"score PSI vs reference", format_double(score_psi(), 3)});
+  table.add_row({"drift alert", drift_detected() ? "YES" : "no"});
+  return table.render();
+}
+
+}  // namespace memfp::mlops

@@ -1,0 +1,55 @@
+// Monitoring stage (paper Fig 6): counters for every pipeline phase, score
+// drift detection via PSI against a reference window, feedback-driven online
+// precision/recall estimates, and a text dashboard.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace memfp::mlops {
+
+class Monitoring {
+ public:
+  // ---- counters ----
+  void record_ingest(std::size_t records) { ingested_ += records; }
+  void record_prediction(double score);
+  void record_alarm() { ++alarms_; }
+  /// Ground-truth feedback from the cloud service: was the alarm followed by
+  /// a UE (true positive) or not?
+  void record_alarm_feedback(bool was_true_positive);
+  /// A UE that arrived with no alarm (missed failure).
+  void record_missed_failure() { ++missed_failures_; }
+
+  std::size_t ingested() const { return ingested_; }
+  std::size_t predictions() const { return predictions_; }
+  std::size_t alarms() const { return alarms_; }
+
+  /// Online precision/recall from the feedback stream (0 when no data).
+  double online_precision() const;
+  double online_recall() const;
+
+  // ---- drift detection ----
+  /// Freezes the current score window as the PSI reference and clears it.
+  void freeze_reference();
+  /// PSI between the reference score distribution and scores since the
+  /// freeze. 0 when either side is empty.
+  double score_psi() const;
+  /// Standard alert threshold: PSI > 0.25 signals a major shift.
+  bool drift_detected(double threshold = 0.25) const;
+
+  /// Text dashboard of all signals.
+  std::string dashboard() const;
+
+ private:
+  std::size_t ingested_ = 0;
+  std::size_t predictions_ = 0;
+  std::size_t alarms_ = 0;
+  std::size_t feedback_tp_ = 0;
+  std::size_t feedback_fp_ = 0;
+  std::size_t missed_failures_ = 0;
+  std::vector<double> reference_scores_;
+  std::vector<double> current_scores_;
+};
+
+}  // namespace memfp::mlops

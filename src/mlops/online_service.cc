@@ -1,0 +1,77 @@
+#include "mlops/online_service.h"
+
+#include "common/logging.h"
+#include "ml/serialize.h"
+
+namespace memfp::mlops {
+
+OnlinePredictionService::OnlinePredictionService(
+    const ModelRegistry& registry, dram::Platform platform,
+    const FeatureStore& store, AlarmSystem& alarms, Monitoring& monitoring)
+    : store_(&store),
+      alarms_(&alarms),
+      monitoring_(&monitoring),
+      windows_(store.windows()) {
+  const ModelVersion* production = registry.production(platform);
+  if (production == nullptr) {
+    MEMFP_WARN << "online service: no production model for "
+               << dram::platform_name(platform);
+    return;
+  }
+  try {
+    model_ = ml::model_from_json(production->artifact);
+    threshold_ = production->threshold;
+  } catch (const std::exception& e) {
+    MEMFP_ERROR << "online service: cannot load artifact v"
+                << production->version << ": " << e.what();
+  }
+}
+
+double OnlinePredictionService::score_dimm(const sim::DimmTrace& dimm,
+                                           SimTime t) {
+  if (!model_) return 0.0;
+  const std::vector<float> features = store_->serve(dimm, t);
+  if (features.empty()) return 0.0;
+  const double score = model_->predict(features);
+  monitoring_->record_prediction(score);
+  if (score >= threshold_) {
+    alarms_->raise(dimm.id, t, score);
+    monitoring_->record_alarm();
+  }
+  return score;
+}
+
+void OnlinePredictionService::run_over(const sim::FleetTrace& fleet,
+                                       SimTime start, SimTime end,
+                                       SimDuration cadence) {
+  if (!model_) return;
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    if (dimm.ces.empty()) continue;
+    for (SimTime t = start; t <= end; t += cadence) {
+      if (dimm.ue && t >= dimm.ue->time) break;  // the DIMM already failed
+      score_dimm(dimm, t);
+      if (alarms_->first_alarm(dimm.id)) break;  // mitigation in flight
+    }
+  }
+}
+
+void OnlinePredictionService::apply_feedback(const sim::FleetTrace& fleet) {
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    const std::optional<SimTime> alarm = alarms_->first_alarm(dimm.id);
+    if (dimm.predictable_ue()) {
+      const SimTime ue = dimm.ue->time;
+      const bool timely = alarm && ue - *alarm >= windows_.lead &&
+                          ue - *alarm <= windows_.lead + windows_.prediction;
+      if (timely) {
+        monitoring_->record_alarm_feedback(true);
+      } else {
+        monitoring_->record_missed_failure();
+        if (alarm) monitoring_->record_alarm_feedback(false);
+      }
+    } else if (alarm) {
+      monitoring_->record_alarm_feedback(false);
+    }
+  }
+}
+
+}  // namespace memfp::mlops

@@ -1,0 +1,50 @@
+// Online Prediction stage (paper Fig 6): serves the production model from
+// the registry against streaming telemetry, raising alarms into the cloud
+// alarm system and reporting every score to monitoring.
+#pragma once
+
+#include <memory>
+
+#include "ml/model.h"
+#include "mlops/alarm.h"
+#include "mlops/feature_store.h"
+#include "mlops/model_registry.h"
+#include "mlops/monitoring.h"
+
+namespace memfp::mlops {
+
+class OnlinePredictionService {
+ public:
+  /// Binds to the production model for `platform`. `ready()` is false when
+  /// the registry has none (or its artifact cannot be deserialized).
+  OnlinePredictionService(const ModelRegistry& registry,
+                          dram::Platform platform, const FeatureStore& store,
+                          AlarmSystem& alarms, Monitoring& monitoring);
+
+  bool ready() const { return model_ != nullptr; }
+  double threshold() const { return threshold_; }
+
+  /// One streaming prediction tick for one DIMM: extract point-in-time
+  /// features, score, alarm on threshold crossing. Returns the score
+  /// (0 when the observation window is empty).
+  double score_dimm(const sim::DimmTrace& dimm, SimTime t);
+
+  /// Streams a whole fleet at the given cadence over [start, end]; DIMMs
+  /// stop being scored once they alarm or fail.
+  void run_over(const sim::FleetTrace& fleet, SimTime start, SimTime end,
+                SimDuration cadence);
+
+  /// Joins alarms with the ground truth that later materialized and feeds
+  /// precision/recall feedback to monitoring (the paper's feedback loop).
+  void apply_feedback(const sim::FleetTrace& fleet);
+
+ private:
+  const FeatureStore* store_;
+  AlarmSystem* alarms_;
+  Monitoring* monitoring_;
+  features::PredictionWindows windows_;
+  std::unique_ptr<ml::BinaryClassifier> model_;
+  double threshold_ = 0.5;
+};
+
+}  // namespace memfp::mlops

@@ -1,0 +1,49 @@
+#include "sim/bmc.h"
+
+#include <algorithm>
+
+namespace memfp::sim {
+
+BmcCollector::BmcCollector(BmcPolicy policy) : policy_(policy) {}
+
+void BmcCollector::on_corrected(DimmTrace& trace, const dram::CeEvent& event) {
+  // Storm suppression window: count but do not materialize.
+  if (event.time < suppressed_until_) {
+    ++trace.suppressed_ce_count;
+    return;
+  }
+
+  // Slide the detection window.
+  recent_.push_back(event.time);
+  const SimTime cutoff = event.time - policy_.storm_window;
+  recent_.erase(
+      std::remove_if(recent_.begin(), recent_.end(),
+                     [cutoff](SimTime t) { return t < cutoff; }),
+      recent_.end());
+
+  if (static_cast<int>(recent_.size()) >= policy_.storm_threshold) {
+    trace.events.push_back({event.time, dram::MemEventType::kCeStorm});
+    suppressed_until_ = event.time + policy_.suppression_period;
+    trace.events.push_back(
+        {suppressed_until_, dram::MemEventType::kCeStormSuppressed});
+    recent_.clear();
+    ++trace.suppressed_ce_count;
+    return;
+  }
+
+  if (trace.ces.size() >= policy_.max_logged_ces) {
+    ++trace.suppressed_ce_count;
+    return;
+  }
+  trace.ces.push_back(event);
+}
+
+void BmcCollector::on_uncorrected(DimmTrace& trace,
+                                  const dram::UeEvent& event) const {
+  if (trace.ue) return;  // only the first UE matters; the DIMM is retired
+  dram::UeEvent record = event;
+  record.had_prior_ce = trace.has_ce();
+  trace.ue = record;
+}
+
+}  // namespace memfp::sim

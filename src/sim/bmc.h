@@ -1,0 +1,48 @@
+// Baseboard Management Controller model (paper Fig 1(3) and Section II-C).
+//
+// The BMC is the logging chokepoint between raw error transfers and the
+// dataset: it records CE events at up to one-minute granularity, detects CE
+// storms (many CEs in a brief window), suppresses individual logging during
+// a storm to avoid service degradation, and bounds its own log capacity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "dram/events.h"
+#include "sim/trace.h"
+
+namespace memfp::sim {
+
+struct BmcPolicy {
+  /// CEs within `storm_window` that trigger a storm event.
+  int storm_threshold = 10;
+  SimDuration storm_window = minutes(1);
+  /// Individual CE logging is muted this long after a storm fires.
+  SimDuration suppression_period = hours(1);
+  /// Hard cap on individually logged CE records per DIMM (BMC buffer).
+  std::size_t max_logged_ces = 4000;
+};
+
+/// Stateful per-DIMM collector. Feed raw corrected transfers in time order;
+/// it populates the trace's logged CEs, storm events and suppressed count.
+class BmcCollector {
+ public:
+  explicit BmcCollector(BmcPolicy policy = {});
+
+  /// Records one corrected error transfer observed at `event.time`.
+  void on_corrected(DimmTrace& trace, const dram::CeEvent& event);
+
+  /// Records the (first) uncorrectable error; UEs bypass suppression.
+  void on_uncorrected(DimmTrace& trace, const dram::UeEvent& event) const;
+
+  const BmcPolicy& policy() const { return policy_; }
+
+ private:
+  BmcPolicy policy_;
+  // Sliding-window storm detection state.
+  std::vector<SimTime> recent_;
+  SimTime suppressed_until_ = -1;
+};
+
+}  // namespace memfp::sim

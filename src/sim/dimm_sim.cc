@@ -1,0 +1,88 @@
+#include "sim/dimm_sim.h"
+
+#include <algorithm>
+
+namespace memfp::sim {
+namespace {
+
+/// A raw (pre-BMC) error transfer candidate.
+struct Transfer {
+  SimTime time;
+  std::size_t fault_index;
+};
+
+}  // namespace
+
+DimmSimulator::DimmSimulator(dram::Platform platform, DimmSimParams params)
+    : platform_(platform), params_(params) {}
+
+DimmTrace DimmSimulator::run(dram::DimmId id, std::uint32_t server_id,
+                             const dram::DimmConfig& config,
+                             const std::vector<dram::Fault>& faults,
+                             Rng& rng) const {
+  DimmTrace trace;
+  trace.id = id;
+  trace.server_id = server_id;
+  trace.platform = platform_;
+  trace.config = config;
+
+  const dram::Geometry geometry = config.geometry();
+  const dram::FaultPatternModel model(platform_, geometry);
+  const auto ecc = dram::make_platform_ecc(platform_);
+
+  // Generate candidate transfer times bucket by bucket.
+  std::vector<Transfer> transfers;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const dram::Fault& fault = faults[f];
+    for (SimTime start = std::max<SimTime>(fault.arrival, 0);
+         start < params_.horizon; start += params_.bucket) {
+      const SimTime mid = start + params_.bucket / 2;
+      const double rate_per_hour = fault.rate_at(mid);
+      if (rate_per_hour <= 0.0) continue;
+      const double expected =
+          rate_per_hour * static_cast<double>(params_.bucket) /
+          static_cast<double>(kHour);
+      const auto count = rng.poisson(expected);
+      if (count == 0) continue;
+      const auto materialized = std::min<std::uint64_t>(
+          count, static_cast<std::uint64_t>(params_.max_transfers_per_bucket));
+      trace.suppressed_ce_count += count - materialized;
+      for (std::uint64_t i = 0; i < materialized; ++i) {
+        const SimTime t =
+            start + static_cast<SimTime>(
+                        rng.uniform_u64(static_cast<std::uint64_t>(
+                            params_.bucket)));
+        transfers.push_back({t, f});
+      }
+    }
+  }
+  std::sort(transfers.begin(), transfers.end(),
+            [](const Transfer& a, const Transfer& b) { return a.time < b.time; });
+
+  BmcCollector bmc(params_.bmc);
+  for (const Transfer& transfer : transfers) {
+    const dram::Fault& fault = faults[transfer.fault_index];
+    const double severity = fault.severity_at(transfer.time);
+    const dram::ErrorPattern pattern = model.sample(fault, severity, rng);
+    dram::CellCoord coord = model.sample_coord(fault, rng);
+    // The logged coordinate reports the device that actually erred in this
+    // transfer (real MCE decoding recovers it from address + syndrome) —
+    // this is what lets the analyzer see multi-device fault structure.
+    coord.device = geometry.device_of_dq(pattern.bits().front().dq);
+    const dram::EccVerdict verdict = ecc->classify(pattern, geometry);
+    if (verdict == dram::EccVerdict::kUncorrected) {
+      dram::UeEvent ue;
+      ue.time = transfer.time;
+      ue.coord = coord;
+      ue.pattern = pattern;
+      bmc.on_uncorrected(trace, ue);
+      break;  // DIMM retired at first UE
+    }
+    if (verdict == dram::EccVerdict::kCorrected) {
+      bmc.on_corrected(trace, {transfer.time, coord, pattern});
+    }
+  }
+  return trace;
+}
+
+}  // namespace memfp::sim

@@ -1,0 +1,48 @@
+// Single-DIMM lifecycle simulation: injected faults -> raw error transfers
+// -> platform ECC classification -> BMC-logged trace.
+//
+// Error transfers are generated as an inhomogeneous Poisson process per
+// fault, discretized into fixed buckets. The first transfer the platform ECC
+// cannot correct becomes the DIMM's UE and ends its life (the fleet retires
+// it). Everything is driven by a per-DIMM forked RNG, so DIMMs are
+// independent and the whole fleet is reproducible from one seed.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "dram/ecc.h"
+#include "dram/fault.h"
+#include "sim/bmc.h"
+#include "sim/trace.h"
+
+namespace memfp::sim {
+
+struct DimmSimParams {
+  SimTime horizon = days(273);  // Jan..Oct 2023
+  /// Poisson discretization bucket.
+  SimDuration bucket = hours(6);
+  /// Cap on transfers materialized per fault per bucket; the surplus is
+  /// rolled into the BMC's suppressed count (real BMCs drop them too).
+  int max_transfers_per_bucket = 48;
+  BmcPolicy bmc;
+};
+
+class DimmSimulator {
+ public:
+  DimmSimulator(dram::Platform platform, DimmSimParams params = {});
+
+  /// Simulates one DIMM carrying `faults`; returns its observable trace.
+  DimmTrace run(dram::DimmId id, std::uint32_t server_id,
+                const dram::DimmConfig& config,
+                const std::vector<dram::Fault>& faults, Rng& rng) const;
+
+  const DimmSimParams& params() const { return params_; }
+
+ private:
+  dram::Platform platform_;
+  DimmSimParams params_;
+};
+
+}  // namespace memfp::sim

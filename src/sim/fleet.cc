@@ -1,0 +1,286 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "dram/ecc.h"
+
+namespace memfp::sim {
+namespace {
+
+using dram::DeviceScope;
+using dram::Fault;
+using dram::FaultMode;
+
+dram::Manufacturer sample_manufacturer(Rng& rng, bool degraded_bias) {
+  // The degraded population skews toward manufacturer A (field studies
+  // consistently see vendor-dependent failure rates).
+  const std::vector<double> weights =
+      degraded_bias ? std::vector<double>{0.45, 0.30, 0.15, 0.10}
+                    : std::vector<double>{0.34, 0.30, 0.21, 0.15};
+  return static_cast<dram::Manufacturer>(rng.weighted_index(weights));
+}
+
+dram::DramProcess sample_process(Rng& rng) {
+  const std::vector<double> weights{0.20, 0.40, 0.30, 0.10};  // 1x 1y 1z 1a
+  return static_cast<dram::DramProcess>(1 + rng.weighted_index(weights));
+}
+
+FaultMixEntry pick_mix(const std::vector<FaultMixEntry>& mix, Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const FaultMixEntry& entry : mix) weights.push_back(entry.weight);
+  return mix[rng.weighted_index(weights)];
+}
+
+dram::CellCoord sample_anchor(const dram::Geometry& geometry, Rng& rng) {
+  dram::CellCoord coord;
+  coord.rank = static_cast<int>(rng.uniform_u64(
+      static_cast<std::uint64_t>(geometry.ranks)));
+  coord.device = static_cast<int>(rng.uniform_u64(
+      static_cast<std::uint64_t>(geometry.devices_per_rank())));
+  coord.bank = static_cast<int>(
+      rng.uniform_u64(static_cast<std::uint64_t>(geometry.banks)));
+  coord.row = static_cast<int>(
+      rng.uniform_u64(static_cast<std::uint64_t>(geometry.rows)));
+  coord.column = static_cast<int>(rng.uniform_u64(
+      static_cast<std::uint64_t>(geometry.columns)));
+  return coord;
+}
+
+void assign_devices(Fault& fault, const dram::Geometry& geometry, Rng& rng) {
+  fault.devices = {fault.anchor.device};
+  if (fault.scope == DeviceScope::kMultiDevice) {
+    int partner = fault.anchor.device;
+    while (partner == fault.anchor.device) {
+      partner = static_cast<int>(rng.uniform_u64(
+          static_cast<std::uint64_t>(geometry.devices_per_rank())));
+    }
+    fault.devices.push_back(partner);
+  }
+}
+
+}  // namespace
+
+WorkloadStats sample_workload(Rng& rng, bool degraded_bias) {
+  WorkloadStats workload;
+  // Degraded DIMMs sit on marginally hotter servers — a weak correlation,
+  // matching the field observation that workload metrics play a minor role
+  // next to CE structure [27].
+  const double shift = degraded_bias ? 0.06 : 0.0;
+  workload.cpu_utilization = static_cast<float>(
+      std::clamp(rng.normal(0.45 + shift, 0.18), 0.02, 0.99));
+  workload.memory_utilization = static_cast<float>(
+      std::clamp(rng.normal(0.55 + shift, 0.20), 0.02, 0.99));
+  workload.read_write_ratio =
+      static_cast<float>(std::clamp(rng.lognormal(0.7, 0.5), 0.2, 20.0));
+  return workload;
+}
+
+dram::DimmConfig sample_dimm_config(dram::Platform platform, Rng& rng,
+                                    bool degraded_bias) {
+  dram::DimmConfig config;
+  config.manufacturer = sample_manufacturer(rng, degraded_bias);
+  config.process = sample_process(rng);
+  config.width = dram::DeviceWidth::kX4;  // the paper's bit-level study target
+  const int frequencies[] = {2400, 2666, 2933, 3200};
+  // Whitley (Icelake) fleets run the faster parts.
+  const std::size_t base = platform == dram::Platform::kIntelWhitley ? 2 : 0;
+  config.frequency_mhz =
+      frequencies[base + rng.uniform_u64(4 - base)];
+  const int capacities[] = {16, 32, 64};
+  config.capacity_gib = capacities[rng.uniform_u64(3)];
+  config.part_number = std::string("DDR4-") +
+                       dram::manufacturer_name(config.manufacturer) + "-" +
+                       dram::process_name(config.process) + "-" +
+                       std::to_string(config.frequency_mhz) + "-" +
+                       std::to_string(config.capacity_gib) + "G";
+  return config;
+}
+
+dram::Fault make_benign_fault(const ScenarioParams& params, Rng& rng) {
+  const dram::Geometry geometry = dram::Geometry::ddr4_x4();
+  Fault fault;
+  const FaultMixEntry entry = pick_mix(params.benign_mix, rng);
+  fault.mode = entry.mode;
+  fault.scope = entry.scope;
+  fault.anchor = sample_anchor(geometry, rng);
+  assign_devices(fault, geometry, rng);
+  fault.arrival = static_cast<SimTime>(
+      rng.uniform(0.0, static_cast<double>(params.horizon) * 0.9));
+  const bool lookalike = rng.bernoulli(params.lookalike_fraction);
+  if (lookalike) {
+    // Lookalikes develop the same risky bit signature as real escalators
+    // but creep there slowly and stall short of the ECC boundary; real
+    // escalators ramp steeply all the way through it. The residual overlap
+    // (a slow escalator vs a fast lookalike) is the irreducible noise.
+    fault.ce_rate_per_hour = rng.uniform(0.1, 1.0);
+    fault.rate_growth_per_day = rng.uniform(0.005, 0.05);
+    fault.severity0 = rng.uniform(0.20, 0.50);
+    fault.severity_growth_per_day = rng.uniform(0.01, 0.06);
+    fault.severity_cap = rng.uniform(0.82, 0.94);
+  } else {
+    fault.ce_rate_per_hour =
+        std::clamp(rng.lognormal(std::log(0.04), 1.3), 0.003, 30.0);
+    fault.rate_growth_per_day = rng.uniform(-0.002, 0.010);
+    fault.severity0 = rng.uniform(0.05, 0.45);
+    fault.severity_growth_per_day = rng.uniform(0.0, 0.02);
+    fault.severity_cap = rng.uniform(0.35, 0.78);
+  }
+  fault.escalating = false;
+  return fault;
+}
+
+dram::Fault make_escalating_fault(const ScenarioParams& params, Rng& rng,
+                                  SimTime t_cross, double prelude_days) {
+  const dram::Geometry geometry = dram::Geometry::ddr4_x4();
+  Fault fault;
+  const FaultMixEntry entry = pick_mix(params.escalator_mix, rng);
+  fault.mode = entry.mode;
+  fault.scope = entry.scope;
+  fault.anchor = sample_anchor(geometry, rng);
+  assign_devices(fault, geometry, rng);
+  fault.escalating = true;
+  fault.severity0 = rng.uniform(0.30, 0.50);
+  fault.arrival = std::max<SimTime>(
+      0, t_cross - static_cast<SimTime>(prelude_days * kDay));
+  const double effective_prelude_days =
+      static_cast<double>(t_cross - fault.arrival) /
+      static_cast<double>(kDay);
+  fault.severity_growth_per_day =
+      (1.0 - fault.severity0) / std::max(effective_prelude_days, 0.02);
+  fault.ce_rate_per_hour = rng.uniform(0.2, 1.2);
+  fault.rate_growth_per_day = rng.uniform(0.04, 0.16);
+  return fault;
+}
+
+dram::ErrorPattern sample_ue_pattern(dram::Platform platform,
+                                     const dram::Geometry& geometry,
+                                     Rng& rng) {
+  const dram::FaultPatternModel model(platform, geometry);
+  const auto ecc = dram::make_platform_ecc(platform);
+  Fault fault;
+  fault.mode = FaultMode::kRow;
+  fault.scope = platform == dram::Platform::kIntelPurley
+                    ? DeviceScope::kSingleDevice
+                    : DeviceScope::kMultiDevice;
+  fault.anchor = sample_anchor(geometry, rng);
+  assign_devices(fault, geometry, rng);
+  fault.escalating = true;
+  // Past the boundary the generator emits the uncorrectable pattern with
+  // high probability; retry the residual CE emissions away.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    dram::ErrorPattern pattern = model.sample(fault, 1.25, rng);
+    if (ecc->classify(pattern, geometry) == dram::EccVerdict::kUncorrected) {
+      return pattern;
+    }
+  }
+  MEMFP_WARN << "sample_ue_pattern: falling back to cross-device pair";
+  dram::ErrorPattern pattern;
+  pattern.add({0, 0});
+  pattern.add({static_cast<std::uint8_t>(geometry.dq_per_device()), 0});
+  return pattern;
+}
+
+FleetTrace simulate_fleet(const ScenarioParams& params,
+                          const DimmSimParams& sim_params) {
+  Rng rng(params.seed);
+  DimmSimParams effective = sim_params;
+  effective.horizon = params.horizon;
+  const DimmSimulator simulator(params.platform, effective);
+  const dram::Geometry geometry = dram::Geometry::ddr4_x4();
+
+  FleetTrace fleet;
+  fleet.platform = params.platform;
+  fleet.horizon = params.horizon;
+
+  dram::DimmId next_id = 0;
+  const auto next_server = [&](dram::DimmId id) {
+    return static_cast<std::uint32_t>(id / 2 %
+                                      static_cast<std::uint32_t>(params.servers));
+  };
+
+  // Benign CE population.
+  for (int i = 0; i < params.ce_dimms; ++i) {
+    const dram::DimmId id = next_id++;
+    Rng dimm_rng = rng.fork();
+    const dram::DimmConfig config =
+        sample_dimm_config(params.platform, dimm_rng, /*degraded_bias=*/false);
+    std::vector<Fault> faults{make_benign_fault(params, dimm_rng)};
+    if (dimm_rng.bernoulli(params.two_fault_probability)) {
+      faults.push_back(make_benign_fault(params, dimm_rng));
+    }
+    DimmTrace trace =
+        simulator.run(id, next_server(id), config, faults, dimm_rng);
+    trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/false);
+    if (trace.has_ce() || trace.has_ue()) fleet.dimms.push_back(std::move(trace));
+  }
+
+  // Degrading population: escalators that cross within the horizon, plus a
+  // censored tail that crosses after it (they look risky but never fail —
+  // the honest negatives that make the prediction task hard).
+  const int total_escalators = static_cast<int>(std::lround(
+      params.predictable_ue_dimms /
+      std::max(1e-6, 1.0 - params.censored_escalator_fraction)));
+  for (int i = 0; i < total_escalators; ++i) {
+    const dram::DimmId id = next_id++;
+    Rng dimm_rng = rng.fork();
+    const dram::DimmConfig config =
+        sample_dimm_config(params.platform, dimm_rng, /*degraded_bias=*/true);
+    const bool censored = dimm_rng.bernoulli(params.censored_escalator_fraction);
+    const SimTime t_cross =
+        censored ? params.horizon +
+                       static_cast<SimTime>(dimm_rng.uniform(
+                           static_cast<double>(days(2)),
+                           static_cast<double>(days(45))))
+                 : static_cast<SimTime>(dimm_rng.uniform(
+                       static_cast<double>(days(12)),
+                       static_cast<double>(params.horizon - days(1))));
+    const bool short_prelude =
+        dimm_rng.bernoulli(params.short_prelude_fraction);
+    const double prelude_days =
+        short_prelude ? dimm_rng.uniform(0.25, 2.0)
+                      : std::clamp(dimm_rng.lognormal(std::log(10.0), 0.6),
+                                   2.0, 60.0);
+    std::vector<Fault> faults{
+        make_escalating_fault(params, dimm_rng, t_cross, prelude_days)};
+    if (dimm_rng.bernoulli(0.10)) {
+      faults.push_back(make_benign_fault(params, dimm_rng));
+    }
+    DimmTrace trace =
+        simulator.run(id, next_server(id), config, faults, dimm_rng);
+    trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/true);
+    if (trace.has_ce() || trace.has_ue()) fleet.dimms.push_back(std::move(trace));
+  }
+
+  // Sudden UEs: component failures with no CE warning (paper Section II-A).
+  for (int i = 0; i < params.sudden_ue_dimms; ++i) {
+    const dram::DimmId id = next_id++;
+    Rng dimm_rng = rng.fork();
+    DimmTrace trace;
+    trace.id = id;
+    trace.server_id = next_server(id);
+    trace.platform = params.platform;
+    trace.config =
+        sample_dimm_config(params.platform, dimm_rng, /*degraded_bias=*/true);
+    trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/true);
+    dram::UeEvent ue;
+    ue.time = static_cast<SimTime>(dimm_rng.uniform(
+        static_cast<double>(days(1)), static_cast<double>(params.horizon)));
+    ue.coord = sample_anchor(geometry, dimm_rng);
+    ue.pattern = sample_ue_pattern(params.platform, geometry, dimm_rng);
+    ue.had_prior_ce = false;
+    trace.ue = ue;
+    fleet.dimms.push_back(std::move(trace));
+  }
+
+  MEMFP_INFO << "simulated fleet " << dram::platform_name(params.platform)
+             << ": " << fleet.dimms.size() << " observed DIMMs, "
+             << fleet.dimms_with_ue() << " with UE ("
+             << fleet.predictable_ue_dimms() << " predictable, "
+             << fleet.sudden_ue_dimms() << " sudden)";
+  return fleet;
+}
+
+}  // namespace memfp::sim

@@ -1,0 +1,41 @@
+// Fleet builder: expands a calibrated ScenarioParams into a population of
+// DIMMs with sampled configurations and faults, simulates each DIMM, and
+// returns the observable FleetTrace (the synthetic production dataset).
+#pragma once
+
+#include "sim/dimm_sim.h"
+#include "sim/scenario.h"
+#include "sim/trace.h"
+
+namespace memfp::sim {
+
+/// Runs the full scenario. Deterministic in params.seed.
+FleetTrace simulate_fleet(const ScenarioParams& params,
+                          const DimmSimParams& sim_params = {});
+
+/// Samples a DIMM configuration for the platform (manufacturer mix, process
+/// node, frequency, capacity). `degraded_bias` skews the manufacturer mix
+/// the way failing populations are skewed in the field, giving the static
+/// features genuine (but weak) predictive signal.
+dram::DimmConfig sample_dimm_config(dram::Platform platform, Rng& rng,
+                                    bool degraded_bias);
+
+/// Samples the server workload context for a DIMM (weakly skewed for the
+/// degraded population, per the field studies' "minor role" finding).
+WorkloadStats sample_workload(Rng& rng, bool degraded_bias);
+
+/// Builds one benign (non-UE) fault according to the scenario's mix and
+/// difficulty knobs.
+dram::Fault make_benign_fault(const ScenarioParams& params, Rng& rng);
+
+/// Builds one degrading fault that crosses the ECC boundary at `t_cross`
+/// after `prelude_days` of CE warning.
+dram::Fault make_escalating_fault(const ScenarioParams& params, Rng& rng,
+                                  SimTime t_cross, double prelude_days);
+
+/// A transfer pattern that the platform ECC flags uncorrectable (used for
+/// sudden-UE injection).
+dram::ErrorPattern sample_ue_pattern(dram::Platform platform,
+                                     const dram::Geometry& geometry, Rng& rng);
+
+}  // namespace memfp::sim

@@ -1,0 +1,88 @@
+#include "sim/page_offline.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace memfp::sim {
+namespace {
+
+std::uint64_t row_key(const dram::CellCoord& c) {
+  return (static_cast<std::uint64_t>(c.rank) << 56) |
+         (static_cast<std::uint64_t>(c.device & 0xff) << 48) |
+         (static_cast<std::uint64_t>(c.bank & 0xff) << 40) |
+         (static_cast<std::uint64_t>(c.row & 0xffffff) << 16);
+}
+
+}  // namespace
+
+OfflineOutcome apply_page_offlining(const DimmTrace& trace,
+                                    const PageOfflinePolicy& policy,
+                                    std::optional<SimTime> predictor_alarm) {
+  OfflineOutcome outcome;
+  std::unordered_map<std::uint64_t, int> row_ces;
+  std::unordered_set<std::uint64_t> offlined;
+  bool alarm_applied = false;
+
+  const auto offline_row = [&](std::uint64_t row) {
+    if (outcome.rows_offlined >= policy.max_rows_per_dimm) return;
+    if (offlined.insert(row).second) ++outcome.rows_offlined;
+  };
+  const auto apply_alarm_action = [&] {
+    // Prediction-guided: retire the DIMM's currently hottest rows.
+    std::vector<std::pair<int, std::uint64_t>> hottest;
+    for (const auto& [row, count] : row_ces) hottest.push_back({count, row});
+    std::sort(hottest.rbegin(), hottest.rend());
+    for (const auto& [count, row] : hottest) {
+      if (outcome.rows_offlined >= policy.max_rows_per_dimm) break;
+      offline_row(row);
+    }
+  };
+
+  for (const dram::CeEvent& ce : trace.ces) {
+    if (predictor_alarm && !alarm_applied && ce.time >= *predictor_alarm) {
+      apply_alarm_action();
+      alarm_applied = true;
+    }
+    const std::uint64_t row = row_key(ce.coord);
+    if (offlined.count(row)) {
+      ++outcome.ces_avoided;
+      continue;  // the page is gone; this CE never happens
+    }
+    if (++row_ces[row] >= policy.ce_threshold) offline_row(row);
+  }
+  if (predictor_alarm && !alarm_applied &&
+      (!trace.ue || *predictor_alarm < trace.ue->time)) {
+    apply_alarm_action();
+  }
+
+  if (trace.ue) {
+    outcome.ue_row_offlined = offlined.count(row_key(trace.ue->coord)) > 0;
+  }
+  return outcome;
+}
+
+FleetOfflineReport evaluate_page_offlining(const FleetTrace& fleet,
+                                           const PageOfflinePolicy& policy) {
+  FleetOfflineReport report;
+  for (const DimmTrace& dimm : fleet.dimms) {
+    if (dimm.ces.empty()) continue;
+    ++report.dimms;
+    const OfflineOutcome outcome = apply_page_offlining(dimm, policy);
+    report.rows_offlined += static_cast<std::size_t>(outcome.rows_offlined);
+    report.ces_avoided += outcome.ces_avoided;
+    if (dimm.predictable_ue()) {
+      ++report.ues_total;
+      report.ues_avoided += outcome.ue_row_offlined;
+    }
+  }
+  report.prevention_rate =
+      report.ues_total == 0
+          ? 0.0
+          : static_cast<double>(report.ues_avoided) /
+                static_cast<double>(report.ues_total);
+  return report;
+}
+
+}  // namespace memfp::sim

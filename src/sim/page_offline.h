@@ -1,0 +1,51 @@
+// Software page offlining (paper Section II-C, references [34][36][37]):
+// the OS retires physical pages whose underlying DRAM rows keep producing
+// CEs, trading capacity for the chance of dodging a future UE.
+//
+// Two policies are modelled:
+//  - reactive: offline a row once it logged `ce_threshold` CEs;
+//  - prediction-guided: additionally offline the hottest rows of a DIMM the
+//    moment a failure predictor alarms on it.
+// The evaluator replays a trace under a policy and decides whether the
+// DIMM's UE would have been avoided (the UE's row already retired).
+#pragma once
+
+#include <optional>
+
+#include "common/time.h"
+#include "sim/trace.h"
+
+namespace memfp::sim {
+
+struct PageOfflinePolicy {
+  int ce_threshold = 12;       ///< CEs on one row before it is retired
+  int max_rows_per_dimm = 8;   ///< capacity budget (OS offlining cap)
+};
+
+struct OfflineOutcome {
+  int rows_offlined = 0;
+  std::uint64_t ces_avoided = 0;  ///< CEs that would have hit retired rows
+  bool ue_row_offlined = false;   ///< the UE's row was retired in time
+};
+
+/// Replays one DIMM's telemetry under the reactive policy. If
+/// `predictor_alarm` is set, the DIMM's most error-prone rows are retired at
+/// the alarm time as well (prediction-guided offlining, [34]).
+OfflineOutcome apply_page_offlining(
+    const DimmTrace& trace, const PageOfflinePolicy& policy,
+    std::optional<SimTime> predictor_alarm = std::nullopt);
+
+struct FleetOfflineReport {
+  std::size_t dimms = 0;
+  std::size_t rows_offlined = 0;
+  std::uint64_t ces_avoided = 0;
+  std::size_t ues_total = 0;        ///< predictable UEs in the fleet
+  std::size_t ues_avoided = 0;      ///< whose row was retired in time
+  double prevention_rate = 0.0;     ///< ues_avoided / ues_total
+};
+
+/// Evaluates a policy over a fleet (reactive only).
+FleetOfflineReport evaluate_page_offlining(const FleetTrace& fleet,
+                                           const PageOfflinePolicy& policy);
+
+}  // namespace memfp::sim

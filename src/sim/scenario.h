@@ -1,0 +1,60 @@
+// Calibrated per-platform fleet scenarios.
+//
+// These encode the field statistics the paper reports (Table I, Fig 4,
+// Fig 5) as generative parameters: how many DIMMs log CEs, what fraction
+// develop predictable vs sudden UEs, the fault-mode mix of the benign and
+// the degrading population, and the "difficulty knobs" that shape the ML
+// task per platform (prelude lengths, benign lookalikes, censored faults).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "dram/fault.h"
+#include "dram/geometry.h"
+
+namespace memfp::sim {
+
+/// One (mode, scope) slot in a fault-mix distribution.
+struct FaultMixEntry {
+  dram::FaultMode mode = dram::FaultMode::kCell;
+  dram::DeviceScope scope = dram::DeviceScope::kSingleDevice;
+  double weight = 0.0;
+};
+
+struct ScenarioParams {
+  dram::Platform platform = dram::Platform::kIntelPurley;
+  SimTime horizon = days(273);  // Jan..Oct 2023 collection window
+  std::uint64_t seed = 1;
+
+  /// Population sizes (already scaled down from the ~250k-server fleet; the
+  /// ratios, not the absolute counts, carry the paper's findings).
+  int ce_dimms = 4000;             ///< benign DIMMs that log CEs
+  int predictable_ue_dimms = 160;  ///< degrading DIMMs that reach a UE
+  int sudden_ue_dimms = 60;        ///< UEs with no CE history
+  int servers = 2000;
+
+  /// Difficulty knobs.
+  double censored_escalator_fraction = 0.15;  ///< cross after the horizon
+  double short_prelude_fraction = 0.12;       ///< <2 days of CE warning
+  double lookalike_fraction = 0.30;  ///< benign faults that mimic risky shapes
+  double two_fault_probability = 0.18;  ///< benign DIMMs with a second fault
+
+  std::vector<FaultMixEntry> benign_mix;
+  std::vector<FaultMixEntry> escalator_mix;
+
+  /// Scales all population sizes (for fast tests / large benches).
+  ScenarioParams scaled(double factor) const;
+};
+
+/// The three studied platforms, calibrated to the Table I / Fig 4 / Fig 5 /
+/// Table II shape targets (see DESIGN.md "Calibration targets").
+ScenarioParams purley_scenario(std::uint64_t seed = 11);
+ScenarioParams whitley_scenario(std::uint64_t seed = 22);
+ScenarioParams k920_scenario(std::uint64_t seed = 33);
+
+/// All three, in paper order.
+std::vector<ScenarioParams> all_platform_scenarios();
+
+}  // namespace memfp::sim

@@ -1,0 +1,37 @@
+#include "sim/trace.h"
+
+namespace memfp::sim {
+
+std::size_t FleetTrace::dimms_with_ce() const {
+  std::size_t count = 0;
+  for (const DimmTrace& dimm : dimms) {
+    if (dimm.has_ce()) ++count;
+  }
+  return count;
+}
+
+std::size_t FleetTrace::dimms_with_ue() const {
+  std::size_t count = 0;
+  for (const DimmTrace& dimm : dimms) {
+    if (dimm.has_ue()) ++count;
+  }
+  return count;
+}
+
+std::size_t FleetTrace::predictable_ue_dimms() const {
+  std::size_t count = 0;
+  for (const DimmTrace& dimm : dimms) {
+    if (dimm.predictable_ue()) ++count;
+  }
+  return count;
+}
+
+std::size_t FleetTrace::sudden_ue_dimms() const {
+  std::size_t count = 0;
+  for (const DimmTrace& dimm : dimms) {
+    if (dimm.sudden_ue()) ++count;
+  }
+  return count;
+}
+
+}  // namespace memfp::sim

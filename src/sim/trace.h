@@ -1,0 +1,65 @@
+// Per-DIMM and per-fleet telemetry traces — the synthetic stand-in for the
+// paper's 10-month production dataset (Section III). A trace contains only
+// what a datacenter operator can observe: BMC-logged CEs (post storm
+// suppression), memory events, the first UE if any, and the DIMM's static
+// configuration. The injected fault ground truth stays inside the simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "dram/events.h"
+#include "dram/geometry.h"
+
+namespace memfp::sim {
+
+/// Server-level workload context (paper references [25]-[27]): aggregated
+/// runtime metrics joined from the monitoring plane. Field studies find
+/// these carry far less signal than CE structure — an effect the feature
+/// ablation reproduces.
+struct WorkloadStats {
+  float cpu_utilization = 0.5f;     ///< mean CPU utilization, [0,1]
+  float memory_utilization = 0.5f;  ///< mean memory utilization, [0,1]
+  float read_write_ratio = 2.0f;    ///< memory read/write access ratio
+};
+
+struct DimmTrace {
+  dram::DimmId id = 0;
+  std::uint32_t server_id = 0;
+  dram::Platform platform = dram::Platform::kIntelPurley;
+  dram::DimmConfig config;
+  WorkloadStats workload;
+
+  /// Time-ordered logged CEs (BMC may have suppressed storm bursts).
+  std::vector<dram::CeEvent> ces;
+  /// Storm / suppression / offlining events.
+  std::vector<dram::MemEvent> events;
+  /// Raw CE transfers that occurred but were not individually logged
+  /// because of storm suppression (count only, as real BMCs report).
+  std::uint64_t suppressed_ce_count = 0;
+  /// First uncorrectable error; the DIMM is retired at that point.
+  std::optional<dram::UeEvent> ue;
+
+  bool has_ce() const { return !ces.empty() || suppressed_ce_count > 0; }
+  bool has_ue() const { return ue.has_value(); }
+  /// Paper terminology: UE preceded by at least one CE.
+  bool predictable_ue() const { return has_ue() && ue->had_prior_ce; }
+  bool sudden_ue() const { return has_ue() && !ue->had_prior_ce; }
+};
+
+/// All observed DIMMs of one platform over the collection horizon.
+/// Mirrors the dataset: only DIMMs that logged at least one CE or UE appear.
+struct FleetTrace {
+  dram::Platform platform = dram::Platform::kIntelPurley;
+  SimTime horizon = 0;
+  std::vector<DimmTrace> dimms;
+
+  std::size_t dimms_with_ce() const;
+  std::size_t dimms_with_ue() const;
+  std::size_t predictable_ue_dimms() const;
+  std::size_t sudden_ue_dimms() const;
+};
+
+}  // namespace memfp::sim

@@ -1,0 +1,273 @@
+// Numerical gradient checks for every autodiff op: perturb each input
+// element, compare the finite-difference slope of a scalar objective with
+// the gradient reverse accumulation reports.
+#include "ml/autodiff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace memfp::ml {
+namespace {
+
+Tensor random_tensor(std::size_t rows, std::size_t cols, Rng& rng) {
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+/// Builds a graph via `build`, reduces the output node to a scalar by a
+/// fixed weighted sum, and gradient-checks with central differences against
+/// every element of every tensor in `inputs`.
+void gradient_check(
+    std::vector<Tensor> inputs,
+    const std::function<int(Graph&, const std::vector<int>&)>& build,
+    double tolerance = 2e-2) {
+  // Fixed projection weights make the scalar objective deterministic.
+  const auto objective = [&](const std::vector<Tensor>& values) {
+    Graph graph;
+    std::vector<int> ids;
+    ids.reserve(values.size());
+    for (const Tensor& v : values) ids.push_back(graph.leaf(v, true));
+    const int out = build(graph, ids);
+    const Tensor& result = graph.value(out);
+    double total = 0.0;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      // Weighted sum so every output element contributes distinctly.
+      total += result.data()[i] * (0.3 + 0.1 * static_cast<double>(i % 7));
+    }
+    return total;
+  };
+
+  // Analytic gradients.
+  Graph graph;
+  std::vector<int> ids;
+  for (const Tensor& v : inputs) ids.push_back(graph.leaf(v, true));
+  const int out = build(graph, ids);
+  // Seed output grad with the projection weights via a scalar proxy: build
+  // the weighted sum by hand on top of out.
+  const Tensor& result = graph.value(out);
+  Tensor proj(result.cols(), 1);
+  // We cannot inject arbitrary seeds through backward(), so emulate the
+  // weighted sum with existing ops only when shapes allow; instead, check
+  // each output element's gradient contribution via the chain rule by
+  // seeding manually: run backward on a sum node built from scale/add is
+  // complex — simpler: evaluate gradient of sum_i w_i out_i using the
+  // identity that backward() seeds ones, by folding w into a leaf multiply.
+  (void)proj;
+
+  // Simplest correct approach: wrap the projection inside the build itself.
+  // (Handled by callers passing builds whose output is 1x1 — enforced here.)
+  ASSERT_EQ(result.size(), 1u)
+      << "gradient_check requires builds that end in a scalar node";
+  graph.backward(out);
+
+  const double eps = 1e-3;
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    for (std::size_t i = 0; i < inputs[t].size(); ++i) {
+      std::vector<Tensor> plus = inputs;
+      std::vector<Tensor> minus = inputs;
+      plus[t].data()[i] += static_cast<float>(eps);
+      minus[t].data()[i] -= static_cast<float>(eps);
+      const double numeric =
+          (objective(plus) - objective(minus)) / (2.0 * eps);
+      const double analytic = graph.grad(ids[t]).data()[i] *
+                              (0.3 + 0.0);  // scalar node weight is w_0
+      const double scale = std::max({1.0, std::fabs(numeric),
+                                     std::fabs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tolerance * scale)
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+/// Reduces any node to 1x1 with matmuls against fixed ones-vectors.
+int to_scalar(Graph& graph, int node) {
+  const Tensor& v = graph.value(node);
+  Tensor right(v.cols(), 1);
+  for (std::size_t i = 0; i < right.size(); ++i) {
+    right.data()[i] = 0.5f + 0.1f * static_cast<float>(i % 5);
+  }
+  const int right_id = graph.leaf(right, false);
+  const int col = graph.matmul(node, right_id);  // rows x 1
+  Tensor left(1, v.rows());
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    left.data()[i] = 0.7f - 0.05f * static_cast<float>(i % 3);
+  }
+  const int left_id = graph.leaf(left, false);
+  return graph.matmul(left_id, col);  // 1 x 1
+}
+
+TEST(Autodiff, MatmulGradients) {
+  Rng rng(1);
+  gradient_check(
+      {random_tensor(3, 4, rng), random_tensor(4, 2, rng)},
+      [](Graph& g, const std::vector<int>& ids) {
+        return to_scalar(g, g.matmul(ids[0], ids[1]));
+      });
+}
+
+TEST(Autodiff, AddAndScaleGradients) {
+  Rng rng(2);
+  gradient_check(
+      {random_tensor(2, 3, rng), random_tensor(2, 3, rng)},
+      [](Graph& g, const std::vector<int>& ids) {
+        return to_scalar(g, g.scale(g.add(ids[0], ids[1]), 1.7f));
+      });
+}
+
+TEST(Autodiff, AddRowvecGradients) {
+  Rng rng(3);
+  gradient_check(
+      {random_tensor(3, 4, rng), random_tensor(1, 4, rng)},
+      [](Graph& g, const std::vector<int>& ids) {
+        return to_scalar(g, g.add_rowvec(ids[0], ids[1]));
+      });
+}
+
+TEST(Autodiff, ReluGradients) {
+  Rng rng(4);
+  gradient_check({random_tensor(3, 3, rng)},
+                 [](Graph& g, const std::vector<int>& ids) {
+                   return to_scalar(g, g.relu(ids[0]));
+                 });
+}
+
+TEST(Autodiff, GeluGradients) {
+  Rng rng(5);
+  gradient_check({random_tensor(3, 3, rng)},
+                 [](Graph& g, const std::vector<int>& ids) {
+                   return to_scalar(g, g.gelu(ids[0]));
+                 });
+}
+
+TEST(Autodiff, LayernormGradients) {
+  Rng rng(6);
+  gradient_check(
+      {random_tensor(3, 6, rng), random_tensor(1, 6, rng),
+       random_tensor(1, 6, rng)},
+      [](Graph& g, const std::vector<int>& ids) {
+        return to_scalar(g, g.layernorm(ids[0], ids[1], ids[2]));
+      },
+      /*tolerance=*/5e-2);
+}
+
+TEST(Autodiff, AttentionGradients) {
+  Rng rng(7);
+  // 2 samples x 3 tokens, d=4, 2 heads.
+  gradient_check(
+      {random_tensor(6, 4, rng), random_tensor(6, 4, rng),
+       random_tensor(6, 4, rng)},
+      [](Graph& g, const std::vector<int>& ids) {
+        return to_scalar(g, g.attention(ids[0], ids[1], ids[2], 3, 2));
+      },
+      /*tolerance=*/5e-2);
+}
+
+TEST(Autodiff, SelectTokenGradients) {
+  Rng rng(8);
+  gradient_check({random_tensor(6, 4, rng)},
+                 [](Graph& g, const std::vector<int>& ids) {
+                   return to_scalar(g, g.select_token(ids[0], 3, 1));
+                 });
+}
+
+TEST(Autodiff, NumericTokensGradients) {
+  Rng rng(9);
+  const Tensor x = random_tensor(2, 3, rng);  // constant input
+  gradient_check(
+      {random_tensor(3, 4, rng), random_tensor(3, 4, rng)},
+      [x](Graph& g, const std::vector<int>& ids) {
+        return to_scalar(g, g.numeric_tokens(x, ids[0], ids[1]));
+      });
+}
+
+TEST(Autodiff, CategoricalTokensGradients) {
+  Rng rng(10);
+  const std::vector<int> codes{0, 1, 2, 0};  // 2 samples x 2 slots
+  const std::vector<int> offsets{0, 3};      // cards 3 and 2
+  gradient_check(
+      {random_tensor(5, 4, rng)},
+      [codes, offsets](Graph& g, const std::vector<int>& ids) {
+        return to_scalar(
+            g, g.categorical_tokens(codes, 2, ids[0], offsets));
+      });
+}
+
+TEST(Autodiff, ConcatTokensGradients) {
+  Rng rng(11);
+  gradient_check(
+      {random_tensor(1, 4, rng), random_tensor(4, 4, rng),
+       random_tensor(2, 4, rng)},
+      [](Graph& g, const std::vector<int>& ids) {
+        // batch=2: part A has 2 tokens/sample, part B 1 token/sample.
+        return to_scalar(
+            g, g.concat_tokens(ids[0], {ids[1], ids[2]}, {2, 1}, 2));
+      });
+}
+
+TEST(Autodiff, BceWithLogitsGradients) {
+  Rng rng(12);
+  const std::vector<float> targets{1.0f, 0.0f, 1.0f};
+  const std::vector<float> weights{1.0f, 2.0f, 0.5f};
+  gradient_check(
+      {random_tensor(3, 1, rng)},
+      [targets, weights](Graph& g, const std::vector<int>& ids) {
+        return g.bce_with_logits(ids[0], targets, weights);
+      });
+}
+
+TEST(Autodiff, BceLossValueMatchesDirectComputation) {
+  Graph graph;
+  Tensor logits(2, 1);
+  logits(0, 0) = 1.2f;
+  logits(1, 0) = -0.7f;
+  const int id = graph.leaf(logits, true);
+  const int loss = graph.bce_with_logits(id, {1.0f, 0.0f}, {1.0f, 1.0f});
+  const double p0 = 1.0 / (1.0 + std::exp(-1.2));
+  const double p1 = 1.0 / (1.0 + std::exp(0.7));
+  const double expected = (-std::log(p0) - std::log(1.0 - p1)) / 2.0;
+  EXPECT_NEAR(graph.value(loss)(0, 0), expected, 1e-5);
+}
+
+TEST(Autodiff, DropoutZeroRateIsIdentity) {
+  Graph graph;
+  Rng rng(13);
+  Tensor x(2, 2, 1.0f);
+  const int id = graph.leaf(x, true);
+  EXPECT_EQ(graph.dropout(id, 0.0f, rng), id);
+}
+
+TEST(Autodiff, DropoutPreservesExpectation) {
+  Graph graph;
+  Rng rng(14);
+  Tensor x(1, 10000, 1.0f);
+  const int id = graph.leaf(x, false);
+  const int dropped = graph.dropout(id, 0.3f, rng);
+  double total = 0.0;
+  const Tensor& out = graph.value(dropped);
+  for (std::size_t i = 0; i < out.size(); ++i) total += out.data()[i];
+  EXPECT_NEAR(total / static_cast<double>(out.size()), 1.0, 0.03);
+}
+
+TEST(Autodiff, GradientsAccumulateAcrossUses) {
+  // f(x) = sum(x + x): gradient must be 2 everywhere.
+  Graph graph;
+  Tensor x(1, 3, 1.0f);
+  const int id = graph.leaf(x, true);
+  const int doubled = graph.add(id, id);
+  const int scalar = to_scalar(graph, doubled);
+  graph.backward(scalar);
+  // Projection weights from to_scalar: left 0.7 (single row), right
+  // 0.5 + 0.1*(i%5).
+  for (std::size_t c = 0; c < 3; ++c) {
+    const double expected = 2.0 * 0.7 * (0.5 + 0.1 * static_cast<double>(c));
+    EXPECT_NEAR(graph.grad(id)(0, c), expected, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace memfp::ml

@@ -1,0 +1,122 @@
+#include "baseline/risky_ce_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp::baseline {
+namespace {
+
+sim::DimmTrace make_trace(dram::Manufacturer manufacturer) {
+  sim::DimmTrace trace;
+  trace.config.manufacturer = manufacturer;
+  return trace;
+}
+
+void add_ce(sim::DimmTrace& trace, SimTime t, std::uint8_t dq,
+            std::uint8_t beat) {
+  dram::CeEvent ce;
+  ce.time = t;
+  ce.pattern.add({dq, beat});
+  trace.ces.push_back(ce);
+}
+
+void add_ue(sim::DimmTrace& trace, SimTime t) {
+  dram::UeEvent ue;
+  ue.time = t;
+  ue.had_prior_ce = !trace.ces.empty();
+  trace.ue = ue;
+}
+
+TEST(PatternRule, MatchesAccumulatedShape) {
+  PatternRule rule{2, 2, 4, 1};
+  dram::ErrorPattern risky({{0, 0}, {1, 4}});
+  EXPECT_TRUE(rule.matches(risky, 10));
+  dram::ErrorPattern narrow({{0, 0}, {1, 1}});
+  EXPECT_FALSE(rule.matches(narrow, 10));
+  // CE-count gate.
+  PatternRule gated{1, 1, 0, 100};
+  EXPECT_FALSE(gated.matches(risky, 10));
+  EXPECT_TRUE(gated.matches(risky, 100));
+}
+
+TEST(RiskyCePattern, FiresWhenDeviceMapTurnsRisky) {
+  // Train: one failing DIMM that accumulates the wide 2-DQ shape before its
+  // UE, one healthy DIMM with a narrow shape.
+  sim::DimmTrace failing = make_trace(dram::Manufacturer::kA);
+  add_ce(failing, days(1), 0, 0);
+  add_ce(failing, days(2), 1, 5);  // device 0, span 5
+  add_ue(failing, days(10));
+
+  sim::DimmTrace healthy = make_trace(dram::Manufacturer::kA);
+  add_ce(healthy, days(1), 8, 2);
+  add_ce(healthy, days(2), 8, 3);  // single lane
+
+  RiskyCePattern model;
+  model.fit({&failing, &healthy}, days(60));
+
+  const auto alarm = model.first_alarm(failing);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(*alarm, days(2));  // the CE that completed the risky shape
+  EXPECT_FALSE(model.first_alarm(healthy).has_value());
+}
+
+TEST(RiskyCePattern, RulesAreSeparatePerManufacturer) {
+  // Manufacturer A fails via the wide shape; manufacturer B's wide shapes
+  // are harmless (its failures are elsewhere). The mined rules must differ
+  // in effect.
+  std::vector<sim::DimmTrace> traces;
+  for (int i = 0; i < 6; ++i) {
+    sim::DimmTrace t = make_trace(dram::Manufacturer::kA);
+    add_ce(t, days(1), 0, 0);
+    add_ce(t, days(2), 1, 5);
+    if (i < 4) add_ue(t, days(5));  // mostly failing
+    traces.push_back(std::move(t));
+  }
+  for (int i = 0; i < 6; ++i) {
+    sim::DimmTrace t = make_trace(dram::Manufacturer::kB);
+    add_ce(t, days(1), 4, 0);
+    add_ce(t, days(2), 5, 5);  // same shape, never fails
+    traces.push_back(std::move(t));
+  }
+  std::vector<const sim::DimmTrace*> pointers;
+  for (const auto& t : traces) pointers.push_back(&t);
+
+  RiskyCePattern model;
+  model.fit(pointers, days(60));
+  ASSERT_TRUE(model.rules().count(dram::Manufacturer::kA));
+  ASSERT_TRUE(model.rules().count(dram::Manufacturer::kB));
+  // A's rule should fire on A's risky DIMMs.
+  EXPECT_TRUE(model.first_alarm(traces[0]).has_value());
+}
+
+TEST(RiskyCePattern, UnknownManufacturerNeverFires) {
+  sim::DimmTrace a = make_trace(dram::Manufacturer::kA);
+  add_ce(a, days(1), 0, 0);
+  add_ue(a, days(5));
+  RiskyCePattern model;
+  model.fit({&a}, days(60));
+
+  sim::DimmTrace d = make_trace(dram::Manufacturer::kD);
+  add_ce(d, days(1), 0, 0);
+  add_ce(d, days(2), 1, 5);
+  EXPECT_FALSE(model.first_alarm(d).has_value());
+}
+
+TEST(RiskyCePattern, PerDeviceAccumulation) {
+  // Bits on two different devices must not combine into one risky map.
+  sim::DimmTrace cross = make_trace(dram::Manufacturer::kA);
+  add_ce(cross, days(1), 0, 0);   // device 0
+  add_ce(cross, days(2), 5, 5);   // device 1
+
+  sim::DimmTrace same = make_trace(dram::Manufacturer::kA);
+  add_ce(same, days(1), 0, 0);
+  add_ce(same, days(2), 1, 5);
+  add_ue(same, days(6));
+
+  RiskyCePattern model;
+  model.fit({&cross, &same}, days(60));
+  EXPECT_TRUE(model.first_alarm(same).has_value());
+  EXPECT_FALSE(model.first_alarm(cross).has_value());
+}
+
+}  // namespace
+}  // namespace memfp::baseline

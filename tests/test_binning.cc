@@ -1,0 +1,92 @@
+#include "ml/binning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memfp::ml {
+namespace {
+
+Dataset dataset_from_column(const std::vector<float>& values,
+                            bool categorical = false) {
+  Dataset d;
+  for (float v : values) {
+    d.x.push_row(std::vector<float>{v});
+    d.y.push_back(0);
+    d.weight.push_back(1.0f);
+    d.dimm.push_back(0);
+    d.time.push_back(0);
+  }
+  if (categorical) d.categorical.push_back(0);
+  return d;
+}
+
+TEST(BinMapper, ConstantFeatureHasOneBin) {
+  const Dataset d = dataset_from_column({2.0f, 2.0f, 2.0f});
+  const BinMapper mapper = BinMapper::fit(d);
+  EXPECT_EQ(mapper.bins(0), 1);
+}
+
+TEST(BinMapper, FewDistinctValuesGetExactBins) {
+  const Dataset d = dataset_from_column({0.0f, 1.0f, 2.0f, 1.0f, 0.0f});
+  const BinMapper mapper = BinMapper::fit(d);
+  EXPECT_EQ(mapper.bins(0), 3);
+  EXPECT_EQ(mapper.bin(0, 0.0f), 0);
+  EXPECT_EQ(mapper.bin(0, 1.0f), 1);
+  EXPECT_EQ(mapper.bin(0, 2.0f), 2);
+}
+
+TEST(BinMapper, QuantileBinsBoundedByMax) {
+  Rng rng(3);
+  std::vector<float> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(static_cast<float>(rng.normal()));
+  const Dataset d = dataset_from_column(values);
+  const BinMapper mapper = BinMapper::fit(d, 16);
+  EXPECT_LE(mapper.bins(0), 16);
+  EXPECT_GT(mapper.bins(0), 8);
+}
+
+TEST(BinMapper, BinThresholdConsistency) {
+  // Property: bin(v) <= b  <=>  v <= threshold(b) for every split bin b.
+  Rng rng(5);
+  std::vector<float> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<float>(rng.uniform(-10.0, 10.0)));
+  }
+  const Dataset d = dataset_from_column(values);
+  const BinMapper mapper = BinMapper::fit(d, 24);
+  for (int b = 0; b + 1 < mapper.bins(0); ++b) {
+    const float threshold = mapper.threshold(0, b);
+    for (float probe : {threshold - 0.01f, threshold, threshold + 0.01f}) {
+      const bool left_by_bin = mapper.bin(0, probe) <= b;
+      const bool left_by_value = probe <= threshold;
+      EXPECT_EQ(left_by_bin, left_by_value)
+          << "bin/threshold disagree at b=" << b << " probe=" << probe;
+    }
+  }
+}
+
+TEST(BinMapper, TransformShape) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.x.push_row(std::vector<float>{static_cast<float>(i),
+                                    static_cast<float>(i % 3)});
+    d.y.push_back(0);
+    d.weight.push_back(1.0f);
+    d.dimm.push_back(0);
+    d.time.push_back(0);
+  }
+  const BinMapper mapper = BinMapper::fit(d);
+  const std::vector<std::uint8_t> codes = mapper.transform(d.x);
+  EXPECT_EQ(codes.size(), 20u);
+}
+
+TEST(BinMapper, OutOfRangeValuesClampToEdgeBins) {
+  const Dataset d = dataset_from_column({0.0f, 1.0f, 2.0f});
+  const BinMapper mapper = BinMapper::fit(d);
+  EXPECT_EQ(mapper.bin(0, -100.0f), 0);
+  EXPECT_EQ(mapper.bin(0, 100.0f), mapper.bins(0) - 1);
+}
+
+}  // namespace
+}  // namespace memfp::ml

@@ -1,0 +1,120 @@
+#include "sim/bmc.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp::sim {
+namespace {
+
+dram::CeEvent ce_at(SimTime t) {
+  dram::CeEvent ce;
+  ce.time = t;
+  ce.pattern.add({0, 0});
+  return ce;
+}
+
+TEST(Bmc, LogsIndividualCes) {
+  BmcCollector bmc;
+  DimmTrace trace;
+  bmc.on_corrected(trace, ce_at(10));
+  bmc.on_corrected(trace, ce_at(20));
+  EXPECT_EQ(trace.ces.size(), 2u);
+  EXPECT_EQ(trace.suppressed_ce_count, 0u);
+}
+
+TEST(Bmc, DetectsStormAndSuppresses) {
+  BmcPolicy policy;
+  policy.storm_threshold = 5;
+  policy.storm_window = minutes(1);
+  policy.suppression_period = hours(1);
+  BmcCollector bmc(policy);
+  DimmTrace trace;
+  // 5 CEs within one minute trigger the storm.
+  for (int i = 0; i < 5; ++i) bmc.on_corrected(trace, ce_at(100 + i));
+  ASSERT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(trace.events[0].type, dram::MemEventType::kCeStorm);
+  EXPECT_EQ(trace.events[1].type, dram::MemEventType::kCeStormSuppressed);
+  // Only the first 4 CEs were individually logged; the trigger is counted
+  // as suppressed.
+  EXPECT_EQ(trace.ces.size(), 4u);
+  EXPECT_EQ(trace.suppressed_ce_count, 1u);
+
+  // During suppression nothing is materialized.
+  bmc.on_corrected(trace, ce_at(200));
+  EXPECT_EQ(trace.ces.size(), 4u);
+  EXPECT_EQ(trace.suppressed_ce_count, 2u);
+
+  // After the suppression period logging resumes.
+  bmc.on_corrected(trace, ce_at(100 + hours(1) + 10));
+  EXPECT_EQ(trace.ces.size(), 5u);
+}
+
+TEST(Bmc, SlowCesNeverStorm) {
+  BmcPolicy policy;
+  policy.storm_threshold = 5;
+  BmcCollector bmc(policy);
+  DimmTrace trace;
+  for (int i = 0; i < 20; ++i) {
+    bmc.on_corrected(trace, ce_at(i * minutes(5)));
+  }
+  EXPECT_TRUE(trace.events.empty());
+  EXPECT_EQ(trace.ces.size(), 20u);
+}
+
+TEST(Bmc, BufferCapRollsToSuppressed) {
+  BmcPolicy policy;
+  policy.max_logged_ces = 3;
+  policy.storm_threshold = 1000;
+  BmcCollector bmc(policy);
+  DimmTrace trace;
+  for (int i = 0; i < 10; ++i) {
+    bmc.on_corrected(trace, ce_at(i * minutes(10)));
+  }
+  EXPECT_EQ(trace.ces.size(), 3u);
+  EXPECT_EQ(trace.suppressed_ce_count, 7u);
+}
+
+TEST(Bmc, FirstUeWinsAndSetsPredictableFlag) {
+  BmcCollector bmc;
+  DimmTrace trace;
+  bmc.on_corrected(trace, ce_at(10));
+  dram::UeEvent ue;
+  ue.time = 100;
+  bmc.on_uncorrected(trace, ue);
+  ASSERT_TRUE(trace.ue.has_value());
+  EXPECT_TRUE(trace.ue->had_prior_ce);
+  EXPECT_TRUE(trace.predictable_ue());
+
+  dram::UeEvent second;
+  second.time = 200;
+  bmc.on_uncorrected(trace, second);
+  EXPECT_EQ(trace.ue->time, 100);
+}
+
+TEST(Bmc, SuddenUeHasNoPriorCe) {
+  BmcCollector bmc;
+  DimmTrace trace;
+  dram::UeEvent ue;
+  ue.time = 50;
+  bmc.on_uncorrected(trace, ue);
+  EXPECT_TRUE(trace.sudden_ue());
+  EXPECT_FALSE(trace.predictable_ue());
+}
+
+TEST(Trace, FleetCounters) {
+  FleetTrace fleet;
+  DimmTrace with_ce;
+  with_ce.ces.push_back(ce_at(1));
+  DimmTrace with_pred_ue = with_ce;
+  with_pred_ue.ue = dram::UeEvent{};
+  with_pred_ue.ue->had_prior_ce = true;
+  DimmTrace with_sudden;
+  with_sudden.ue = dram::UeEvent{};
+  fleet.dimms = {with_ce, with_pred_ue, with_sudden};
+  EXPECT_EQ(fleet.dimms_with_ce(), 2u);
+  EXPECT_EQ(fleet.dimms_with_ue(), 2u);
+  EXPECT_EQ(fleet.predictable_ue_dimms(), 1u);
+  EXPECT_EQ(fleet.sudden_ue_dimms(), 1u);
+}
+
+}  // namespace
+}  // namespace memfp::sim

@@ -1,0 +1,77 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp {
+namespace {
+
+TEST(CsvWriter, SimpleRoundTrip) {
+  CsvWriter writer({"a", "b"});
+  writer.add_row({"1", "2"});
+  writer.add_row({"3", "4"});
+  const CsvTable table = parse_csv(writer.to_string());
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "1");
+  EXPECT_EQ(table.rows[1][1], "4");
+}
+
+TEST(CsvWriter, RejectsRaggedRow) {
+  CsvWriter writer({"a", "b"});
+  EXPECT_THROW(writer.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter writer({"text"});
+  writer.add_row({"hello, \"world\"\nline2"});
+  const CsvTable table = parse_csv(writer.to_string());
+  EXPECT_EQ(table.rows[0][0], "hello, \"world\"\nline2");
+}
+
+TEST(ParseCsv, HandlesCrLf) {
+  const CsvTable table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(ParseCsv, EmptyFields) {
+  const CsvTable table = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "");
+  EXPECT_EQ(table.rows[0][2], "");
+}
+
+TEST(ParseCsv, ThrowsOnRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), std::runtime_error);
+}
+
+TEST(ParseCsv, ThrowsOnUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("a\n\"unterminated\n"), std::runtime_error);
+}
+
+TEST(ParseCsv, ThrowsOnEmptyInput) {
+  EXPECT_THROW(parse_csv(""), std::runtime_error);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const CsvTable table = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(table.column("y"), 1u);
+  EXPECT_THROW(table.column("missing"), std::out_of_range);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvWriter writer({"k", "v"});
+  writer.add_row({"alpha", "1"});
+  const std::string path = testing::TempDir() + "/memfp_test.csv";
+  writer.save(path);
+  const CsvTable table = load_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "alpha");
+}
+
+TEST(Csv, LoadMissingFileThrows) {
+  EXPECT_THROW(load_csv("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memfp

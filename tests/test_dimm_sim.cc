@@ -1,0 +1,129 @@
+#include "sim/dimm_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.h"
+#include "sim/scenario.h"
+
+namespace memfp::sim {
+namespace {
+
+dram::Fault benign_cell_fault() {
+  dram::Fault fault;
+  fault.mode = dram::FaultMode::kCell;
+  fault.scope = dram::DeviceScope::kSingleDevice;
+  fault.anchor = {0, 2, 3, 1000, 200};
+  fault.devices = {2};
+  fault.arrival = days(1);
+  fault.ce_rate_per_hour = 0.5;
+  fault.severity0 = 0.2;
+  fault.severity_cap = 0.5;
+  return fault;
+}
+
+dram::Fault purley_escalator(SimTime cross_at) {
+  dram::Fault fault;
+  fault.mode = dram::FaultMode::kRow;
+  fault.scope = dram::DeviceScope::kSingleDevice;
+  fault.anchor = {0, 5, 7, 4242, 77};
+  fault.devices = {5};
+  fault.arrival = 0;
+  fault.escalating = true;
+  fault.severity0 = 0.3;
+  fault.severity_growth_per_day =
+      0.7 / (static_cast<double>(cross_at) / static_cast<double>(kDay));
+  fault.ce_rate_per_hour = 2.0;
+  fault.rate_growth_per_day = 0.05;
+  return fault;
+}
+
+TEST(DimmSim, BenignFaultProducesCesOnly) {
+  DimmSimParams params;
+  params.horizon = days(60);
+  const DimmSimulator sim(dram::Platform::kIntelPurley, params);
+  Rng rng(1);
+  const DimmTrace trace =
+      sim.run(0, 0, dram::DimmConfig{}, {benign_cell_fault()}, rng);
+  EXPECT_GT(trace.ces.size(), 10u);
+  EXPECT_FALSE(trace.has_ue());
+  // Cell fault: every CE at the anchor coordinate.
+  for (const dram::CeEvent& ce : trace.ces) {
+    EXPECT_EQ(ce.coord, benign_cell_fault().anchor);
+  }
+}
+
+TEST(DimmSim, CesAreTimeOrderedWithinHorizon) {
+  DimmSimParams params;
+  params.horizon = days(30);
+  const DimmSimulator sim(dram::Platform::kIntelPurley, params);
+  Rng rng(2);
+  const DimmTrace trace =
+      sim.run(0, 0, dram::DimmConfig{}, {benign_cell_fault()}, rng);
+  for (std::size_t i = 1; i < trace.ces.size(); ++i) {
+    EXPECT_LE(trace.ces[i - 1].time, trace.ces[i].time);
+  }
+  for (const dram::CeEvent& ce : trace.ces) {
+    EXPECT_GE(ce.time, 0);
+    EXPECT_LT(ce.time, params.horizon);
+  }
+}
+
+TEST(DimmSim, EscalatorReachesUeAndTraceTruncates) {
+  DimmSimParams params;
+  params.horizon = days(120);
+  const DimmSimulator sim(dram::Platform::kIntelPurley, params);
+  Rng rng(3);
+  const DimmTrace trace =
+      sim.run(0, 0, dram::DimmConfig{}, {purley_escalator(days(40))}, rng);
+  ASSERT_TRUE(trace.has_ue());
+  EXPECT_TRUE(trace.predictable_ue());
+  // UE lands after the fault crosses severity 1 (~day 40).
+  EXPECT_GT(trace.ue->time, days(35));
+  // No CE is logged after the UE.
+  for (const dram::CeEvent& ce : trace.ces) {
+    EXPECT_LT(ce.time, trace.ue->time);
+  }
+  // And the UE pattern itself is what the Purley ECC cannot correct.
+  const auto ecc = dram::make_platform_ecc(dram::Platform::kIntelPurley);
+  EXPECT_EQ(ecc->classify(trace.ue->pattern, dram::Geometry::ddr4_x4()),
+            dram::EccVerdict::kUncorrected);
+}
+
+TEST(DimmSim, DeterministicGivenSeed) {
+  DimmSimParams params;
+  params.horizon = days(30);
+  const DimmSimulator sim(dram::Platform::kK920, params);
+  Rng rng_a(77), rng_b(77);
+  const DimmTrace a =
+      sim.run(0, 0, dram::DimmConfig{}, {benign_cell_fault()}, rng_a);
+  const DimmTrace b =
+      sim.run(0, 0, dram::DimmConfig{}, {benign_cell_fault()}, rng_b);
+  ASSERT_EQ(a.ces.size(), b.ces.size());
+  for (std::size_t i = 0; i < a.ces.size(); ++i) {
+    EXPECT_EQ(a.ces[i].time, b.ces[i].time);
+    EXPECT_EQ(a.ces[i].pattern, b.ces[i].pattern);
+  }
+}
+
+TEST(DimmSim, NoFaultsNoEvents) {
+  const DimmSimulator sim(dram::Platform::kIntelWhitley);
+  Rng rng(5);
+  const DimmTrace trace = sim.run(0, 0, dram::DimmConfig{}, {}, rng);
+  EXPECT_FALSE(trace.has_ce());
+  EXPECT_FALSE(trace.has_ue());
+}
+
+TEST(DimmSim, WhitleySingleDeviceFaultNeverUes) {
+  DimmSimParams params;
+  params.horizon = days(100);
+  const DimmSimulator sim(dram::Platform::kIntelWhitley, params);
+  Rng rng(6);
+  // Even a fully escalated single-device fault is absorbed by Whitley ECC.
+  dram::Fault fault = purley_escalator(days(20));
+  const DimmTrace trace = sim.run(0, 0, dram::DimmConfig{}, {fault}, rng);
+  EXPECT_FALSE(trace.has_ue());
+  EXPECT_GT(trace.ces.size(), 0u);
+}
+
+}  // namespace
+}  // namespace memfp::sim

@@ -1,0 +1,177 @@
+#include "dram/ecc.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp::dram {
+namespace {
+
+const Geometry kX4 = Geometry::ddr4_x4();
+
+ErrorPattern bits(std::initializer_list<ErrorBit> list) {
+  return ErrorPattern(std::vector<ErrorBit>(list));
+}
+
+TEST(AllEcc, EmptyPatternIsNoError) {
+  for (Platform platform : {Platform::kIntelPurley, Platform::kIntelWhitley,
+                            Platform::kK920}) {
+    const auto ecc = make_platform_ecc(platform);
+    EXPECT_EQ(ecc->classify(ErrorPattern{}, kX4), EccVerdict::kNoError);
+  }
+  EXPECT_EQ(SecDedEcc().classify(ErrorPattern{}, kX4), EccVerdict::kNoError);
+}
+
+// ---- SEC-DED ----
+
+TEST(SecDed, CorrectsSingleBitPerBeat) {
+  SecDedEcc ecc;
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {5, 1}, {70, 7}}), kX4),
+            EccVerdict::kCorrected);
+}
+
+TEST(SecDed, DetectsDoubleBitInOneBeat) {
+  SecDedEcc ecc;
+  EXPECT_EQ(ecc.classify(bits({{0, 3}, {1, 3}}), kX4),
+            EccVerdict::kUncorrected);
+}
+
+// ---- Chipkill / K920-SDDC ----
+
+TEST(Chipkill, CorrectsArbitrarySingleDevicePattern) {
+  ChipkillSddcEcc ecc;
+  // Whole device 2 (lanes 8-11), all beats.
+  ErrorPattern p;
+  for (std::uint8_t lane = 8; lane < 12; ++lane) {
+    for (std::uint8_t beat = 0; beat < 8; ++beat) p.add({lane, beat});
+  }
+  EXPECT_EQ(ecc.classify(p, kX4), EccVerdict::kCorrected);
+}
+
+TEST(Chipkill, TwoDevicesUncorrectable) {
+  ChipkillSddcEcc ecc;
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {4, 0}}), kX4),
+            EccVerdict::kUncorrected);
+}
+
+// ---- Purley ----
+
+TEST(Purley, CorrectsNarrowSingleDevicePatterns) {
+  PurleyEcc ecc;
+  // 1 bit.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}}), kX4), EccVerdict::kCorrected);
+  // 2 DQs, 1 beat.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {1, 0}}), kX4),
+            EccVerdict::kCorrected);
+  // 2 DQs, 2 beats, span 3 (< 4): still inside the correction capability.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {1, 3}}), kX4),
+            EccVerdict::kCorrected);
+  // 1 DQ, wide span: single-lane faults are always correctable.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {0, 7}}), kX4),
+            EccVerdict::kCorrected);
+}
+
+TEST(Purley, WeakRegionSingleChipPatternEscapes) {
+  PurleyEcc ecc;
+  // The risky shape of [7]: 2 DQs, 2 beats, beat span >= 4 — one device.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {1, 4}}), kX4),
+            EccVerdict::kUncorrected);
+  EXPECT_EQ(ecc.classify(bits({{2, 1}, {3, 7}}), kX4),
+            EccVerdict::kUncorrected);
+}
+
+TEST(Purley, ExactBoundaryOfWeakRegion) {
+  PurleyEcc ecc;
+  // span exactly 4 -> uncorrectable; span 3 -> corrected.
+  EXPECT_EQ(ecc.classify(bits({{0, 1}, {1, 5}}), kX4),
+            EccVerdict::kUncorrected);
+  EXPECT_EQ(ecc.classify(bits({{0, 1}, {1, 4}}), kX4),
+            EccVerdict::kCorrected);
+}
+
+TEST(Purley, AnyMultiDevicePatternUncorrectable) {
+  PurleyEcc ecc;
+  EXPECT_EQ(ecc.classify(bits({{3, 0}, {4, 0}}), kX4),
+            EccVerdict::kUncorrected);
+}
+
+// ---- Whitley ----
+
+TEST(Whitley, CorrectsAllSingleDevicePatterns) {
+  WhitleyEcc ecc;
+  // Even the Purley weak-region shape is absorbed.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {1, 4}}), kX4),
+            EccVerdict::kCorrected);
+  // Whole-device wipeout.
+  ErrorPattern p;
+  for (std::uint8_t lane = 0; lane < 4; ++lane) {
+    for (std::uint8_t beat = 0; beat < 8; ++beat) p.add({lane, beat});
+  }
+  EXPECT_EQ(ecc.classify(p, kX4), EccVerdict::kCorrected);
+}
+
+TEST(Whitley, AbsorbsNarrowCrossDeviceErrors) {
+  WhitleyEcc ecc;
+  // 2 devices but only 2 DQs / 1 beat: adaptive correction handles it.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {4, 0}}), kX4),
+            EccVerdict::kCorrected);
+}
+
+TEST(Whitley, WideMultiDevicePatternUncorrectable) {
+  WhitleyEcc ecc;
+  // 4 DQs across 2 devices over 5 beats.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {1, 1}, {4, 2}, {5, 3}, {4, 4}}), kX4),
+            EccVerdict::kUncorrected);
+}
+
+TEST(Whitley, BelowEitherThresholdIsCorrected) {
+  WhitleyEcc ecc;
+  // 4 DQs but only 4 beats.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {1, 1}, {4, 2}, {5, 3}}), kX4),
+            EccVerdict::kCorrected);
+  // 5 beats but only 3 DQs.
+  EXPECT_EQ(ecc.classify(bits({{0, 0}, {1, 1}, {4, 2}, {4, 3}, {4, 4}}), kX4),
+            EccVerdict::kCorrected);
+}
+
+// ---- Factory ----
+
+TEST(Factory, MapsPlatformsToSchemes) {
+  EXPECT_EQ(make_platform_ecc(Platform::kIntelPurley)->name(), "Purley-SDDC");
+  EXPECT_EQ(make_platform_ecc(Platform::kIntelWhitley)->name(),
+            "Whitley-SDDC");
+  EXPECT_EQ(make_platform_ecc(Platform::kK920)->name(), "K920-SDDC");
+}
+
+// Cross-platform property: the ordering of correction strength against
+// single-device patterns is Whitley >= K920 > Purley (Finding 2's cause).
+class SingleDevicePatternTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SingleDevicePatternTest, StrengthOrdering) {
+  const auto [dqs, beats, span] = GetParam();
+  ErrorPattern p;
+  for (int d = 0; d < dqs; ++d) {
+    for (int b = 0; b < beats; ++b) {
+      const int beat = b == beats - 1 ? std::min(7, span) : b;
+      p.add({static_cast<std::uint8_t>(d), static_cast<std::uint8_t>(beat)});
+    }
+  }
+  const auto purley = PurleyEcc().classify(p, kX4);
+  const auto whitley = WhitleyEcc().classify(p, kX4);
+  const auto k920 = ChipkillSddcEcc().classify(p, kX4);
+  // Single-device: Whitley and K920 always correct.
+  EXPECT_EQ(whitley, EccVerdict::kCorrected);
+  EXPECT_EQ(k920, EccVerdict::kCorrected);
+  // Purley corrects at most what the others do (never rescues a pattern
+  // they would miss).
+  if (purley == EccVerdict::kUncorrected) {
+    EXPECT_TRUE(p.dq_count() >= 2 && p.beat_count() >= 2 && p.beat_span() >= 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SingleDevicePatternTest,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 3, 5, 7)));
+
+}  // namespace
+}  // namespace memfp::dram

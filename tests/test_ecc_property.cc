@@ -1,0 +1,97 @@
+// Property tests over random error patterns: each platform scheme's verdict
+// must match an independently restated predicate of its correction boundary,
+// and the cross-scheme strength ordering must hold pattern-by-pattern.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dram/ecc.h"
+
+namespace memfp::dram {
+namespace {
+
+const Geometry kX4 = Geometry::ddr4_x4();
+
+ErrorPattern random_pattern(Rng& rng, int max_bits) {
+  ErrorPattern p;
+  const int bits = 1 + static_cast<int>(rng.uniform_u64(
+                           static_cast<std::uint64_t>(max_bits)));
+  for (int i = 0; i < bits; ++i) {
+    p.add({static_cast<std::uint8_t>(rng.uniform_u64(
+               static_cast<std::uint64_t>(kX4.total_dq()))),
+           static_cast<std::uint8_t>(rng.uniform_u64(
+               static_cast<std::uint64_t>(kX4.beats)))});
+  }
+  return p;
+}
+
+class EccPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EccPropertyTest, VerdictsMatchPredicates) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const PurleyEcc purley;
+  const WhitleyEcc whitley;
+  const ChipkillSddcEcc chipkill;
+  for (int i = 0; i < 2000; ++i) {
+    const ErrorPattern p = random_pattern(rng, GetParam());
+    const bool multi = !p.single_device(kX4);
+    const bool purley_weak =
+        !multi && p.dq_count() >= 2 && p.beat_count() >= 2 && p.beat_span() >= 4;
+    const bool whitley_wide =
+        multi && p.dq_count() >= 4 && p.beat_count() >= 5;
+
+    EXPECT_EQ(purley.classify(p, kX4) == EccVerdict::kUncorrected,
+              multi || purley_weak);
+    EXPECT_EQ(whitley.classify(p, kX4) == EccVerdict::kUncorrected,
+              whitley_wide);
+    EXPECT_EQ(chipkill.classify(p, kX4) == EccVerdict::kUncorrected, multi);
+
+    // Strength ordering per pattern: whatever Whitley fails on, K920 fails
+    // on too (wide multi-device is a subset of multi-device), and whatever
+    // K920 fails on, Purley fails on too.
+    if (whitley.classify(p, kX4) == EccVerdict::kUncorrected) {
+      EXPECT_EQ(chipkill.classify(p, kX4), EccVerdict::kUncorrected);
+    }
+    if (chipkill.classify(p, kX4) == EccVerdict::kUncorrected) {
+      EXPECT_EQ(purley.classify(p, kX4), EccVerdict::kUncorrected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitBudgets, EccPropertyTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(EccProperty, VerdictInvariantUnderBitOrder) {
+  Rng rng(99);
+  const PurleyEcc ecc;
+  for (int i = 0; i < 200; ++i) {
+    const ErrorPattern p = random_pattern(rng, 6);
+    // Re-add the bits in reverse order; the pattern (a set) must classify
+    // identically.
+    std::vector<ErrorBit> reversed(p.bits().rbegin(), p.bits().rend());
+    const ErrorPattern q{std::move(reversed)};
+    EXPECT_EQ(ecc.classify(p, kX4), ecc.classify(q, kX4));
+  }
+}
+
+TEST(EccProperty, AddingBitsNeverImprovesVerdict) {
+  // Monotonicity: a superset pattern can only stay equal or get worse.
+  Rng rng(123);
+  const auto rank = [](EccVerdict v) {
+    return v == EccVerdict::kNoError ? 0 : v == EccVerdict::kCorrected ? 1 : 2;
+  };
+  for (Platform platform : {Platform::kIntelPurley, Platform::kIntelWhitley,
+                            Platform::kK920}) {
+    const auto ecc = make_platform_ecc(platform);
+    for (int i = 0; i < 500; ++i) {
+      ErrorPattern p = random_pattern(rng, 4);
+      const int before = rank(ecc->classify(p, kX4));
+      p.add({static_cast<std::uint8_t>(rng.uniform_u64(72)),
+             static_cast<std::uint8_t>(rng.uniform_u64(8))});
+      EXPECT_GE(rank(ecc->classify(p, kX4)), before)
+          << platform_name(platform);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memfp::dram

@@ -1,0 +1,84 @@
+#include "dram/error_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp::dram {
+namespace {
+
+TEST(ErrorPattern, EmptyStats) {
+  ErrorPattern p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.dq_count(), 0);
+  EXPECT_EQ(p.beat_count(), 0);
+  EXPECT_EQ(p.max_dq_interval(), 0);
+  EXPECT_EQ(p.max_beat_interval(), 0);
+  EXPECT_EQ(p.beat_span(), 0);
+}
+
+TEST(ErrorPattern, AddDeduplicates) {
+  ErrorPattern p;
+  p.add({3, 2});
+  p.add({3, 2});
+  EXPECT_EQ(p.bit_count(), 1u);
+}
+
+TEST(ErrorPattern, ConstructorSortsAndDeduplicates) {
+  ErrorPattern p({{5, 1}, {2, 0}, {5, 1}});
+  ASSERT_EQ(p.bit_count(), 2u);
+  EXPECT_EQ(p.bits()[0], (ErrorBit{2, 0}));
+  EXPECT_EQ(p.bits()[1], (ErrorBit{5, 1}));
+}
+
+TEST(ErrorPattern, CountsDistinctLanesAndBeats) {
+  ErrorPattern p({{0, 0}, {0, 4}, {1, 0}});
+  EXPECT_EQ(p.dq_count(), 2);
+  EXPECT_EQ(p.beat_count(), 2);
+}
+
+TEST(ErrorPattern, IntervalsAreMaxAdjacentGaps) {
+  ErrorPattern p({{0, 0}, {1, 0}, {5, 0}});
+  EXPECT_EQ(p.max_dq_interval(), 4);  // gap between lanes 1 and 5
+  ErrorPattern q({{0, 0}, {0, 2}, {0, 7}});
+  EXPECT_EQ(q.max_beat_interval(), 5);  // gap between beats 2 and 7
+}
+
+TEST(ErrorPattern, SpansAreOuterDistances) {
+  ErrorPattern p({{2, 1}, {6, 3}, {4, 6}});
+  EXPECT_EQ(p.dq_span(), 4);
+  EXPECT_EQ(p.beat_span(), 5);
+}
+
+TEST(ErrorPattern, SingleBitHasZeroIntervals) {
+  ErrorPattern p({{7, 3}});
+  EXPECT_EQ(p.max_dq_interval(), 0);
+  EXPECT_EQ(p.max_beat_interval(), 0);
+}
+
+TEST(ErrorPattern, DeviceMapping) {
+  const Geometry g = Geometry::ddr4_x4();
+  ErrorPattern single({{0, 0}, {3, 1}});  // lanes 0-3 = device 0
+  EXPECT_TRUE(single.single_device(g));
+  EXPECT_EQ(single.device_count(g), 1);
+
+  ErrorPattern multi({{0, 0}, {4, 0}});  // lane 4 = device 1
+  EXPECT_FALSE(multi.single_device(g));
+  const std::vector<int> expected{0, 1};
+  EXPECT_EQ(multi.devices(g), expected);
+}
+
+TEST(ErrorPattern, MergeIsUnion) {
+  ErrorPattern a({{0, 0}, {1, 1}});
+  ErrorPattern b({{1, 1}, {2, 2}});
+  a.merge(b);
+  EXPECT_EQ(a.bit_count(), 3u);
+}
+
+TEST(ErrorPattern, MergeIsIdempotent) {
+  ErrorPattern a({{0, 0}, {1, 1}});
+  ErrorPattern copy = a;
+  a.merge(copy);
+  EXPECT_EQ(a, copy);
+}
+
+}  // namespace
+}  // namespace memfp::dram

@@ -1,0 +1,198 @@
+#include "features/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memfp::features {
+namespace {
+
+sim::DimmTrace trace_with_ces(std::initializer_list<SimTime> times) {
+  sim::DimmTrace trace;
+  trace.id = 7;
+  int row = 0;
+  for (SimTime t : times) {
+    dram::CeEvent ce;
+    ce.time = t;
+    ce.coord = {0, 3, 1, 100 + row++, 40};
+    ce.pattern.add({12, 2});
+    trace.ces.push_back(ce);
+  }
+  return trace;
+}
+
+TEST(Extractor, NoCesNoSamples) {
+  const FeatureExtractor extractor;
+  sim::DimmTrace trace;
+  EXPECT_TRUE(extractor.extract(trace, days(30)).empty());
+}
+
+TEST(Extractor, SampleOnlyWhenWindowHasCe) {
+  const FeatureExtractor extractor;
+  // One CE on day 10; the 5-day observation window covers days 10..15.
+  const sim::DimmTrace trace = trace_with_ces({days(10) + hours(1)});
+  const std::vector<Sample> samples = extractor.extract(trace, days(30));
+  ASSERT_FALSE(samples.empty());
+  for (const Sample& sample : samples) {
+    EXPECT_GT(sample.time, days(10));
+    EXPECT_LE(sample.time, days(15) + hours(1) + days(1));
+  }
+}
+
+TEST(Extractor, FeatureVectorMatchesSchema) {
+  const FeatureExtractor extractor;
+  const sim::DimmTrace trace = trace_with_ces({days(3), days(4)});
+  const std::vector<Sample> samples = extractor.extract(trace, days(10));
+  ASSERT_FALSE(samples.empty());
+  for (const Sample& sample : samples) {
+    EXPECT_EQ(sample.features.size(), extractor.schema().size());
+  }
+}
+
+TEST(Extractor, LabelsFollowFig3Windows) {
+  PredictionWindows windows;
+  windows.lead = hours(3);
+  windows.prediction = days(30);
+  const FeatureExtractor extractor(windows);
+
+  sim::DimmTrace trace = trace_with_ces({days(1), days(2), days(3), days(40)});
+  trace.ue = dram::UeEvent{};
+  trace.ue->time = days(42);
+  trace.ue->had_prior_ce = true;
+
+  const std::vector<Sample> samples = extractor.extract(trace, days(100));
+  ASSERT_FALSE(samples.empty());
+  for (const Sample& sample : samples) {
+    const SimTime delta = trace.ue->time - sample.time;
+    if (delta < hours(3)) {
+      EXPECT_EQ(sample.label, -1) << "too-late zone at t=" << sample.time;
+    } else if (delta <= hours(3) + days(30)) {
+      EXPECT_EQ(sample.label, 1) << "positive window at t=" << sample.time;
+    } else {
+      EXPECT_EQ(sample.label, 0);
+    }
+    // No samples at or after the UE.
+    EXPECT_LT(sample.time, trace.ue->time);
+  }
+}
+
+TEST(Extractor, NoLeakageFromFutureEvents) {
+  const FeatureExtractor extractor;
+  sim::DimmTrace trace = trace_with_ces({days(2), days(3)});
+  const std::vector<Sample> before = extractor.extract(trace, days(6));
+
+  // Append future telemetry (after day 6) and re-extract the same horizon.
+  sim::DimmTrace extended = trace;
+  dram::CeEvent late;
+  late.time = days(20);
+  late.coord = {0, 9, 2, 5, 6};
+  late.pattern.add({40, 7});
+  extended.ces.push_back(late);
+
+  const std::vector<Sample> after = extractor.extract(extended, days(6));
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].features, after[i].features)
+        << "future event leaked into sample at t=" << before[i].time;
+  }
+}
+
+TEST(Extractor, ServingPathMatchesBatchPath) {
+  const FeatureExtractor extractor;
+  const sim::DimmTrace trace =
+      trace_with_ces({days(2), days(2) + hours(5), days(3), days(4)});
+  const std::vector<Sample> batch = extractor.extract(trace, days(8));
+  ASSERT_FALSE(batch.empty());
+  for (const Sample& sample : batch) {
+    const std::vector<float> served = extractor.features_at(trace, sample.time);
+    EXPECT_EQ(served, sample.features)
+        << "divergence at t=" << sample.time;
+  }
+}
+
+TEST(Extractor, CountsReflectWindowContents) {
+  const FeatureExtractor extractor;
+  const FeatureSchema& schema = extractor.schema();
+  const std::size_t idx_5d = schema.index_of("ce_count_5d");
+  const std::size_t idx_1d = schema.index_of("ce_count_1d");
+
+  // Three CEs on day 2; sample at day 3 sees all three in both windows.
+  const sim::DimmTrace trace = trace_with_ces(
+      {days(2), days(2) + hours(1), days(2) + hours(2)});
+  const std::vector<Sample> samples = extractor.extract(trace, days(4));
+  const Sample* day3 = nullptr;
+  for (const Sample& sample : samples) {
+    if (sample.time == days(3)) day3 = &sample;
+  }
+  ASSERT_NE(day3, nullptr);
+  EXPECT_NEAR(day3->features[idx_5d], std::log1p(3.0), 1e-5);
+  EXPECT_NEAR(day3->features[idx_1d], std::log1p(3.0), 1e-5);
+}
+
+TEST(Extractor, SpatialFeaturesSeeDistinctRows) {
+  const FeatureExtractor extractor;
+  const FeatureSchema& schema = extractor.schema();
+  const std::size_t idx_rows = schema.index_of("distinct_rows_5d");
+  const sim::DimmTrace trace = trace_with_ces({days(1), days(1) + 10,
+                                               days(1) + 20});
+  const std::vector<Sample> samples = extractor.extract(trace, days(3));
+  const Sample* day2 = nullptr;
+  for (const Sample& sample : samples) {
+    if (sample.time == days(2)) day2 = &sample;
+  }
+  ASSERT_NE(day2, nullptr);
+  // trace_with_ces uses a fresh row per CE.
+  EXPECT_NEAR(day2->features[idx_rows], std::log1p(3.0), 1e-5);
+}
+
+TEST(Extractor, StaticFeaturesEncodeConfig) {
+  const FeatureExtractor extractor;
+  const FeatureSchema& schema = extractor.schema();
+  sim::DimmTrace trace = trace_with_ces({days(1)});
+  trace.config.manufacturer = dram::Manufacturer::kC;
+  trace.config.process = dram::DramProcess::k1z;
+  trace.config.frequency_mhz = 3200;
+  const std::vector<Sample> samples = extractor.extract(trace, days(3));
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples.front().features[schema.index_of("manufacturer")], 2.0f);
+  EXPECT_EQ(samples.front().features[schema.index_of("dram_process")], 3.0f);
+  EXPECT_NEAR(samples.front().features[schema.index_of("frequency_ghz")], 3.2f,
+              1e-5);
+}
+
+TEST(Schema, GroupsCoverAllFeatures) {
+  const FeatureSchema schema = FeatureSchema::standard();
+  std::size_t total = 0;
+  for (FeatureGroup group :
+       {FeatureGroup::kTemporal, FeatureGroup::kSpatial,
+        FeatureGroup::kBitLevel, FeatureGroup::kStatic,
+        FeatureGroup::kWorkload}) {
+    total += schema.group_indices(group).size();
+  }
+  EXPECT_EQ(total, schema.size());
+}
+
+TEST(Schema, SubsetPreservesOrder) {
+  const FeatureSchema schema = FeatureSchema::standard();
+  const FeatureSchema sub = schema.subset({0, 5, 10});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.def(0).name, schema.def(0).name);
+  EXPECT_EQ(sub.def(2).name, schema.def(10).name);
+}
+
+TEST(Schema, IndexOfThrowsOnUnknown) {
+  EXPECT_THROW(FeatureSchema::standard().index_of("bogus"), std::out_of_range);
+}
+
+TEST(Schema, CategoricalMetadata) {
+  const FeatureSchema schema = FeatureSchema::standard();
+  const FeatureDef& manufacturer =
+      schema.def(schema.index_of("manufacturer"));
+  EXPECT_TRUE(manufacturer.categorical);
+  EXPECT_EQ(manufacturer.cardinality, 4);
+  const FeatureDef& count = schema.def(schema.index_of("ce_count_5d"));
+  EXPECT_FALSE(count.categorical);
+}
+
+}  // namespace
+}  // namespace memfp::features

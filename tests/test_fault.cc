@@ -1,0 +1,232 @@
+#include "dram/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/ecc.h"
+
+namespace memfp::dram {
+namespace {
+
+const Geometry kX4 = Geometry::ddr4_x4();
+
+Fault make_fault(FaultMode mode, DeviceScope scope, bool escalating) {
+  Fault fault;
+  fault.mode = mode;
+  fault.scope = scope;
+  fault.anchor = {0, 3, 5, 12345, 321};
+  fault.devices = {3};
+  if (scope == DeviceScope::kMultiDevice) fault.devices.push_back(9);
+  fault.escalating = escalating;
+  fault.severity0 = 0.3;
+  fault.severity_growth_per_day = 0.05;
+  fault.severity_cap = 0.8;
+  fault.arrival = days(10);
+  fault.ce_rate_per_hour = 1.0;
+  fault.rate_growth_per_day = 0.05;
+  return fault;
+}
+
+TEST(FaultDynamics, SeverityZeroBeforeArrival) {
+  const Fault fault = make_fault(FaultMode::kRow, DeviceScope::kSingleDevice,
+                                 false);
+  EXPECT_EQ(fault.severity_at(days(5)), 0.0);
+  EXPECT_EQ(fault.rate_at(days(5)), 0.0);
+}
+
+TEST(FaultDynamics, SeverityGrowsLinearly) {
+  const Fault fault = make_fault(FaultMode::kRow, DeviceScope::kSingleDevice,
+                                 true);
+  EXPECT_DOUBLE_EQ(fault.severity_at(days(10)), 0.3);
+  EXPECT_NEAR(fault.severity_at(days(20)), 0.8, 1e-9);
+}
+
+TEST(FaultDynamics, BenignSeverityCaps) {
+  const Fault fault = make_fault(FaultMode::kRow, DeviceScope::kSingleDevice,
+                                 false);
+  EXPECT_NEAR(fault.severity_at(days(200)), 0.8, 1e-9);
+}
+
+TEST(FaultDynamics, EscalatingSeverityExceedsOne) {
+  const Fault fault = make_fault(FaultMode::kRow, DeviceScope::kSingleDevice,
+                                 true);
+  EXPECT_GT(fault.severity_at(days(40)), 1.0);
+  EXPECT_LE(fault.severity_at(days(400)), 1.3);
+}
+
+TEST(FaultDynamics, RateStallsWhenSeverityPlateaus) {
+  Fault benign = make_fault(FaultMode::kRow, DeviceScope::kSingleDevice,
+                            false);
+  // Cap reached after (0.8 - 0.3) / 0.05 = 10 days.
+  const double rate_at_plateau = benign.rate_at(benign.arrival + days(10));
+  const double rate_much_later = benign.rate_at(benign.arrival + days(100));
+  EXPECT_NEAR(rate_at_plateau, rate_much_later, 1e-9);
+
+  Fault escalating = make_fault(FaultMode::kRow,
+                                DeviceScope::kSingleDevice, true);
+  // Still degrading at day 12 (cap 1.3 reached after 20 days).
+  EXPECT_GT(escalating.rate_at(escalating.arrival + days(12)),
+            escalating.rate_at(escalating.arrival + days(6)));
+}
+
+TEST(FaultDynamics, RateClamped) {
+  Fault fault = make_fault(FaultMode::kRow, DeviceScope::kSingleDevice, true);
+  fault.rate_growth_per_day = 1.0;
+  EXPECT_LE(fault.rate_at(days(300)), 4000.0);
+}
+
+// ---- pattern generator invariants ----
+
+struct GeneratorCase {
+  Platform platform;
+  FaultMode mode;
+  DeviceScope scope;
+  double severity;
+};
+
+class GeneratorInvariantTest : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorInvariantTest, PatternsNonEmptyAndInFootprint) {
+  const GeneratorCase& c = GetParam();
+  // Purley cannot host single-device escalators in cell/column modes and the
+  // multi-scope generators need two devices; construct accordingly.
+  Fault fault = make_fault(c.mode, c.scope, false);
+  const FaultPatternModel model(c.platform, kX4);
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const ErrorPattern p = model.sample(fault, c.severity, rng);
+    ASSERT_FALSE(p.empty());
+    for (const ErrorBit& bit : p.bits()) {
+      EXPECT_LT(bit.dq, kX4.total_dq());
+      EXPECT_LT(bit.beat, kX4.beats);
+      const int device = kX4.device_of_dq(bit.dq);
+      EXPECT_TRUE(device == 3 || device == 9)
+          << "bit on unexpected device " << device;
+    }
+    if (c.scope == DeviceScope::kSingleDevice) {
+      EXPECT_TRUE(p.single_device(kX4));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GeneratorInvariantTest,
+    ::testing::Values(
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kCell,
+                      DeviceScope::kSingleDevice, 0.2},
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kColumn,
+                      DeviceScope::kSingleDevice, 0.7},
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kRow,
+                      DeviceScope::kSingleDevice, 0.9},
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kBank,
+                      DeviceScope::kSingleDevice, 0.9},
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 0.9},
+        GeneratorCase{Platform::kIntelWhitley, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 0.9},
+        GeneratorCase{Platform::kK920, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 0.9},
+        GeneratorCase{Platform::kK920, FaultMode::kBank,
+                      DeviceScope::kMultiDevice, 0.99}));
+
+class PreBoundaryCorrectableTest
+    : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(PreBoundaryCorrectableTest, BenignEmissionsNeverUncorrectable) {
+  const GeneratorCase& c = GetParam();
+  Fault fault = make_fault(c.mode, c.scope, false);
+  fault.severity_cap = 0.98;
+  const FaultPatternModel model(c.platform, kX4);
+  const auto ecc = make_platform_ecc(c.platform);
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const ErrorPattern p = model.sample(fault, c.severity, rng);
+    EXPECT_NE(ecc->classify(p, kX4), EccVerdict::kUncorrected)
+        << "benign fault produced an uncorrectable pattern at severity "
+        << c.severity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HighSeverityBenign, PreBoundaryCorrectableTest,
+    ::testing::Values(
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kRow,
+                      DeviceScope::kSingleDevice, 0.95},
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kBank,
+                      DeviceScope::kSingleDevice, 0.95},
+        GeneratorCase{Platform::kIntelWhitley, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 0.95},
+        GeneratorCase{Platform::kK920, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 0.95},
+        GeneratorCase{Platform::kIntelPurley, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 0.95}));
+
+TEST(Generator, EscalatorsEventuallyEmitUncorrectable) {
+  for (const GeneratorCase& c :
+       {GeneratorCase{Platform::kIntelPurley, FaultMode::kRow,
+                      DeviceScope::kSingleDevice, 1.15},
+        GeneratorCase{Platform::kIntelWhitley, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 1.15},
+        GeneratorCase{Platform::kK920, FaultMode::kRow,
+                      DeviceScope::kMultiDevice, 1.15}}) {
+    Fault fault = make_fault(c.mode, c.scope, true);
+    const FaultPatternModel model(c.platform, kX4);
+    const auto ecc = make_platform_ecc(c.platform);
+    Rng rng(13);
+    bool saw_ue = false;
+    for (int i = 0; i < 500 && !saw_ue; ++i) {
+      saw_ue = ecc->classify(model.sample(fault, c.severity, rng), kX4) ==
+               EccVerdict::kUncorrected;
+    }
+    EXPECT_TRUE(saw_ue) << "escalator never crossed on "
+                        << platform_name(c.platform);
+  }
+}
+
+TEST(Generator, CoordsFollowModeSemantics) {
+  const FaultPatternModel model(Platform::kIntelPurley, kX4);
+  Rng rng(21);
+
+  const Fault cell = make_fault(FaultMode::kCell, DeviceScope::kSingleDevice,
+                                false);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(model.sample_coord(cell, rng), cell.anchor);
+  }
+
+  const Fault column = make_fault(FaultMode::kColumn,
+                                  DeviceScope::kSingleDevice, false);
+  bool row_varies = false;
+  for (int i = 0; i < 50; ++i) {
+    const CellCoord coord = model.sample_coord(column, rng);
+    EXPECT_EQ(coord.column, column.anchor.column);
+    row_varies |= coord.row != column.anchor.row;
+  }
+  EXPECT_TRUE(row_varies);
+
+  const Fault row = make_fault(FaultMode::kRow, DeviceScope::kSingleDevice,
+                               false);
+  bool column_varies = false;
+  for (int i = 0; i < 50; ++i) {
+    const CellCoord coord = model.sample_coord(row, rng);
+    EXPECT_EQ(coord.row, row.anchor.row);
+    column_varies |= coord.column != row.anchor.column;
+  }
+  EXPECT_TRUE(column_varies);
+
+  const Fault bank = make_fault(FaultMode::kBank, DeviceScope::kSingleDevice,
+                                false);
+  for (int i = 0; i < 50; ++i) {
+    const CellCoord coord = model.sample_coord(bank, rng);
+    EXPECT_EQ(coord.bank, bank.anchor.bank);
+    EXPECT_GE(coord.row, 0);
+    EXPECT_LT(coord.row, kX4.rows);
+  }
+}
+
+TEST(Generator, ModeNamesStable) {
+  EXPECT_STREQ(fault_mode_name(FaultMode::kCell), "cell");
+  EXPECT_STREQ(fault_mode_name(FaultMode::kBank), "bank");
+  EXPECT_STREQ(device_scope_name(DeviceScope::kMultiDevice), "multi-device");
+}
+
+}  // namespace
+}  // namespace memfp::dram

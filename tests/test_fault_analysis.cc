@@ -1,0 +1,194 @@
+#include "core/fault_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.h"
+
+namespace memfp::core {
+namespace {
+
+sim::DimmTrace trace_with_coords(
+    const std::vector<dram::CellCoord>& coords, bool ue) {
+  static dram::DimmId next_id = 0;
+  sim::DimmTrace trace;
+  trace.id = next_id++;
+  SimTime t = days(1);
+  for (const dram::CellCoord& coord : coords) {
+    dram::CeEvent ce;
+    ce.time = t;
+    t += hours(1);
+    ce.coord = coord;
+    ce.pattern.add({static_cast<std::uint8_t>(coord.device * 4),
+                    static_cast<std::uint8_t>(coord.column % 8)});
+    trace.ces.push_back(ce);
+  }
+  if (ue) {
+    trace.ue = dram::UeEvent{};
+    trace.ue->time = t + days(1);
+    trace.ue->had_prior_ce = true;
+  }
+  return trace;
+}
+
+TEST(FaultModeUeRates, CategorizesAndComputesRates) {
+  sim::FleetTrace fleet;
+  // Two row-fault DIMMs, one fails.
+  fleet.dimms.push_back(trace_with_coords(
+      {{0, 1, 2, 100, 10}, {0, 1, 2, 100, 20}}, true));
+  fleet.dimms.push_back(trace_with_coords(
+      {{0, 1, 2, 200, 10}, {0, 1, 2, 200, 20}}, false));
+  // One cell-fault DIMM, healthy.
+  fleet.dimms.push_back(trace_with_coords(
+      {{0, 2, 3, 50, 5}, {0, 2, 3, 50, 5}}, false));
+
+  const std::vector<FaultModeEntry> entries = fault_mode_ue_rates(fleet);
+  const auto find = [&](const std::string& name) -> const FaultModeEntry& {
+    for (const FaultModeEntry& e : entries) {
+      if (e.category == name) return e;
+    }
+    throw std::logic_error("missing category " + name);
+  };
+  EXPECT_EQ(find("row").dimms, 2u);
+  EXPECT_EQ(find("row").ue_dimms, 1u);
+  EXPECT_DOUBLE_EQ(find("row").ue_rate, 0.5);
+  EXPECT_EQ(find("cell").dimms, 1u);
+  EXPECT_EQ(find("cell").ue_dimms, 0u);
+  // Relative normalization: the max category sits at 1.0.
+  double max_relative = 0.0;
+  for (const FaultModeEntry& e : entries) {
+    max_relative = std::max(max_relative, e.relative);
+  }
+  EXPECT_DOUBLE_EQ(max_relative, 1.0);
+}
+
+TEST(FaultModeUeRates, SkipsCeFreeDimms) {
+  sim::FleetTrace fleet;
+  sim::DimmTrace sudden;
+  sudden.ue = dram::UeEvent{};
+  fleet.dimms.push_back(sudden);
+  const std::vector<FaultModeEntry> entries = fault_mode_ue_rates(fleet);
+  for (const FaultModeEntry& e : entries) EXPECT_EQ(e.dimms, 0u);
+}
+
+TEST(BitPatternUeRates, GroupsByAccumulatedStats) {
+  sim::FleetTrace fleet;
+  // DIMM with accumulated 2 DQs / 2 beats / beat interval 4 -> fails.
+  sim::DimmTrace risky;
+  risky.id = 100;
+  dram::CeEvent a;
+  a.time = days(1);
+  a.pattern.add({0, 0});
+  dram::CeEvent b;
+  b.time = days(2);
+  b.pattern.add({1, 4});
+  risky.ces = {a, b};
+  risky.ue = dram::UeEvent{};
+  risky.ue->time = days(3);
+  risky.ue->had_prior_ce = true;
+  fleet.dimms.push_back(risky);
+
+  // DIMM with a single accumulated bit -> healthy.
+  sim::DimmTrace narrow;
+  narrow.id = 101;
+  narrow.ces = {a};
+  fleet.dimms.push_back(narrow);
+
+  const std::vector<BitStatSeries> series = bit_pattern_ue_rates(fleet);
+  ASSERT_EQ(series.size(), 4u);
+  const BitStatSeries& dq = series[0];
+  EXPECT_EQ(dq.stat, "error DQs");
+  EXPECT_DOUBLE_EQ(dq.ue_rate[2], 1.0);  // the 2-DQ bucket
+  EXPECT_DOUBLE_EQ(dq.ue_rate[1], 0.0);  // the 1-DQ bucket
+  const BitStatSeries& beat_interval = series[3];
+  EXPECT_DOUBLE_EQ(beat_interval.ue_rate[4], 1.0);
+  EXPECT_EQ(beat_interval.peak_value(1), 4);
+}
+
+TEST(BitPatternUeRates, ClampsToMaxValue) {
+  sim::FleetTrace fleet;
+  sim::DimmTrace wide;
+  wide.id = 1;
+  dram::CeEvent ce;
+  ce.time = days(1);
+  for (std::uint8_t dq = 0; dq < 40; ++dq) ce.pattern.add({dq, 0});
+  wide.ces = {ce};
+  fleet.dimms.push_back(wide);
+  const std::vector<BitStatSeries> series = bit_pattern_ue_rates(fleet, 8);
+  EXPECT_EQ(series[0].dimms[8], 1u);  // clamped into the top bucket
+}
+
+// Integration: the simulated platforms reproduce the paper's Fig 4/5 shapes.
+class AnalysisShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    purley_ = new sim::FleetTrace(
+        sim::simulate_fleet(sim::purley_scenario().scaled(0.4)));
+    whitley_ = new sim::FleetTrace(
+        sim::simulate_fleet(sim::whitley_scenario().scaled(0.4)));
+    k920_ = new sim::FleetTrace(
+        sim::simulate_fleet(sim::k920_scenario().scaled(0.4)));
+  }
+  static void TearDownTestSuite() {
+    delete purley_;
+    delete whitley_;
+    delete k920_;
+  }
+  static double relative(const std::vector<FaultModeEntry>& entries,
+                         const std::string& name) {
+    for (const FaultModeEntry& e : entries) {
+      if (e.category == name) return e.relative;
+    }
+    return 0.0;
+  }
+  static sim::FleetTrace* purley_;
+  static sim::FleetTrace* whitley_;
+  static sim::FleetTrace* k920_;
+};
+
+sim::FleetTrace* AnalysisShapeTest::purley_ = nullptr;
+sim::FleetTrace* AnalysisShapeTest::whitley_ = nullptr;
+sim::FleetTrace* AnalysisShapeTest::k920_ = nullptr;
+
+TEST_F(AnalysisShapeTest, Finding2FaultModeShapes) {
+  // "The primary source of UEs on Purley is single-device faults; on
+  // Whitley and K920, multi-device faults."
+  const UeComposition purley_comp = ue_device_composition(*purley_);
+  const UeComposition whitley_comp = ue_device_composition(*whitley_);
+  const UeComposition k920_comp = ue_device_composition(*k920_);
+  EXPECT_GT(purley_comp.single_device_share, 0.5);
+  EXPECT_GT(whitley_comp.multi_device_share, 0.5);
+  EXPECT_GT(k920_comp.multi_device_share, 0.5);
+  EXPECT_GT(purley_comp.single_device_share,
+            whitley_comp.single_device_share);
+
+  // Within each platform: multi-device UE *rate* beats single-device on
+  // Whitley/K920, and row/bank fault rates out-rank cell faults.
+  const auto purley = fault_mode_ue_rates(*purley_);
+  const auto whitley = fault_mode_ue_rates(*whitley_);
+  const auto k920 = fault_mode_ue_rates(*k920_);
+  EXPECT_GT(relative(whitley, "multi-device"),
+            relative(whitley, "single-device"));
+  EXPECT_GT(relative(k920, "multi-device"),
+            relative(k920, "single-device"));
+  for (const auto* fleet_entries : {&purley, &whitley, &k920}) {
+    EXPECT_GT(relative(*fleet_entries, "row") +
+                  relative(*fleet_entries, "bank"),
+              relative(*fleet_entries, "cell"));
+  }
+}
+
+TEST_F(AnalysisShapeTest, Finding3BitPatternPeaks) {
+  const auto purley = bit_pattern_ue_rates(*purley_);
+  // Purley: UE risk peaks at 2 error DQs, 2 error beats, beat interval 4.
+  EXPECT_EQ(purley[0].peak_value(10), 2);   // error DQs
+  EXPECT_EQ(purley[1].peak_value(10), 2);   // error beats
+  EXPECT_GE(purley[3].peak_value(10), 4);   // beat interval
+
+  const auto whitley = bit_pattern_ue_rates(*whitley_);
+  // Whitley: wider patterns dominate (>= 4 DQs, >= 5 beats).
+  EXPECT_GE(whitley[0].peak_value(10), 4);
+  EXPECT_GE(whitley[1].peak_value(10), 5);
+}
+
+}  // namespace
+}  // namespace memfp::core

@@ -1,0 +1,107 @@
+#include "features/fault_inference.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp::features {
+namespace {
+
+dram::CeEvent ce(int device, int bank, int row, int column) {
+  dram::CeEvent event;
+  event.coord = {0, device, bank, row, column};
+  event.pattern.add({static_cast<std::uint8_t>(device * 4), 0});
+  return event;
+}
+
+TEST(FaultInference, EmptyHistory) {
+  const InferredFaults result = infer_faults({});
+  EXPECT_FALSE(result.any());
+  EXPECT_FALSE(result.single_device);
+  EXPECT_FALSE(result.multi_device);
+}
+
+TEST(FaultInference, RepeatedCellIsCellFault) {
+  std::vector<dram::CeEvent> ces{ce(1, 2, 100, 50), ce(1, 2, 100, 50)};
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.cell_faults, 1);
+  EXPECT_EQ(result.row_faults, 0);
+  EXPECT_EQ(result.column_faults, 0);
+  EXPECT_TRUE(result.single_device);
+}
+
+TEST(FaultInference, SingleCeIsNoFault) {
+  std::vector<dram::CeEvent> ces{ce(1, 2, 100, 50)};
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.cell_faults, 0);
+  EXPECT_EQ(result.faulty_devices, 0);
+}
+
+TEST(FaultInference, RowFaultNeedsDistinctColumns) {
+  std::vector<dram::CeEvent> ces{ce(0, 1, 500, 10), ce(0, 1, 500, 20)};
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.row_faults, 1);
+  EXPECT_EQ(result.cell_faults, 0);
+}
+
+TEST(FaultInference, ColumnFaultNeedsDistinctRows) {
+  std::vector<dram::CeEvent> ces{ce(0, 1, 10, 99), ce(0, 1, 20, 99)};
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.column_faults, 1);
+  EXPECT_EQ(result.row_faults, 0);
+}
+
+TEST(FaultInference, BankFaultNeedsSpreadRowsAndColumns) {
+  std::vector<dram::CeEvent> ces;
+  for (int i = 0; i < 5; ++i) {
+    ces.push_back(ce(2, 3, 100 + i, 10 + i));
+  }
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.bank_faults, 1);
+}
+
+TEST(FaultInference, ConcentratedRowIsNotBankFault) {
+  std::vector<dram::CeEvent> ces;
+  for (int i = 0; i < 10; ++i) {
+    ces.push_back(ce(2, 3, 100, 10 + i));  // one row, many columns
+  }
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.bank_faults, 0);
+  EXPECT_EQ(result.row_faults, 1);
+}
+
+TEST(FaultInference, MultiDeviceDetection) {
+  std::vector<dram::CeEvent> ces{ce(0, 0, 1, 1), ce(0, 0, 1, 1),
+                                 ce(7, 0, 2, 2), ce(7, 0, 2, 2)};
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.faulty_devices, 2);
+  EXPECT_TRUE(result.multi_device);
+  EXPECT_FALSE(result.single_device);
+}
+
+TEST(FaultInference, DeviceNeedsMinimumCes) {
+  // One CE on a second device does not make it faulty.
+  std::vector<dram::CeEvent> ces{ce(0, 0, 1, 1), ce(0, 0, 1, 1),
+                                 ce(7, 0, 2, 2)};
+  const InferredFaults result = infer_faults(ces);
+  EXPECT_EQ(result.faulty_devices, 1);
+  EXPECT_TRUE(result.single_device);
+}
+
+TEST(FaultInference, RankSeparatesDevices) {
+  dram::CeEvent a = ce(3, 0, 1, 1);
+  dram::CeEvent b = ce(3, 0, 1, 1);
+  b.coord.rank = 1;
+  const InferredFaults result = infer_faults(std::vector<dram::CeEvent>{a, b, a, b});
+  EXPECT_EQ(result.faulty_devices, 2);
+}
+
+TEST(FaultInference, CustomThresholds) {
+  FaultThresholds strict;
+  strict.cell_repeat = 5;
+  std::vector<dram::CeEvent> ces(4, ce(0, 0, 1, 1));
+  EXPECT_EQ(infer_faults(ces, strict).cell_faults, 0);
+  ces.push_back(ce(0, 0, 1, 1));
+  EXPECT_EQ(infer_faults(ces, strict).cell_faults, 1);
+}
+
+}  // namespace
+}  // namespace memfp::features

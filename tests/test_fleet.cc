@@ -1,0 +1,159 @@
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/ecc.h"
+
+namespace memfp::sim {
+namespace {
+
+TEST(Scenario, ScaledKeepsRatios) {
+  const ScenarioParams base = purley_scenario();
+  const ScenarioParams half = base.scaled(0.5);
+  EXPECT_NEAR(static_cast<double>(half.ce_dimms),
+              base.ce_dimms * 0.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(half.predictable_ue_dimms),
+              base.predictable_ue_dimms * 0.5, 1.0);
+  EXPECT_EQ(half.horizon, base.horizon);
+}
+
+TEST(Scenario, AllPlatformsConfigured) {
+  const auto scenarios = all_platform_scenarios();
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].platform, dram::Platform::kIntelPurley);
+  EXPECT_EQ(scenarios[1].platform, dram::Platform::kIntelWhitley);
+  EXPECT_EQ(scenarios[2].platform, dram::Platform::kK920);
+  for (const ScenarioParams& sc : scenarios) {
+    double benign = 0.0, escal = 0.0;
+    for (const FaultMixEntry& e : sc.benign_mix) benign += e.weight;
+    for (const FaultMixEntry& e : sc.escalator_mix) escal += e.weight;
+    EXPECT_NEAR(benign, 1.0, 0.01);
+    EXPECT_NEAR(escal, 1.0, 0.01);
+  }
+}
+
+TEST(Scenario, OnlyPurleyHasSingleDeviceEscalators) {
+  for (const ScenarioParams& sc : all_platform_scenarios()) {
+    double single_weight = 0.0;
+    for (const FaultMixEntry& e : sc.escalator_mix) {
+      if (e.scope == dram::DeviceScope::kSingleDevice) {
+        single_weight += e.weight;
+      }
+    }
+    if (sc.platform == dram::Platform::kIntelPurley) {
+      EXPECT_GT(single_weight, 0.5);  // Finding 2: single-device dominant
+    } else {
+      EXPECT_EQ(single_weight, 0.0);  // Whitley/K920 ECC corrects them
+    }
+  }
+}
+
+TEST(Fleet, DeterministicInSeed) {
+  const ScenarioParams sc = k920_scenario().scaled(0.05);
+  const FleetTrace a = simulate_fleet(sc);
+  const FleetTrace b = simulate_fleet(sc);
+  ASSERT_EQ(a.dimms.size(), b.dimms.size());
+  std::size_t a_ces = 0, b_ces = 0;
+  for (const DimmTrace& d : a.dimms) a_ces += d.ces.size();
+  for (const DimmTrace& d : b.dimms) b_ces += d.ces.size();
+  EXPECT_EQ(a_ces, b_ces);
+}
+
+TEST(Fleet, SuddenUesHaveNoCes) {
+  const FleetTrace fleet = simulate_fleet(whitley_scenario().scaled(0.1));
+  for (const DimmTrace& dimm : fleet.dimms) {
+    if (dimm.sudden_ue()) {
+      EXPECT_TRUE(dimm.ces.empty());
+      EXPECT_EQ(dimm.suppressed_ce_count, 0u);
+    }
+  }
+}
+
+TEST(Fleet, SuddenUePatternsAreUncorrectable) {
+  Rng rng(5);
+  const dram::Geometry g = dram::Geometry::ddr4_x4();
+  for (dram::Platform platform :
+       {dram::Platform::kIntelPurley, dram::Platform::kIntelWhitley,
+        dram::Platform::kK920}) {
+    const auto ecc = dram::make_platform_ecc(platform);
+    for (int i = 0; i < 20; ++i) {
+      const dram::ErrorPattern p = sample_ue_pattern(platform, g, rng);
+      EXPECT_EQ(ecc->classify(p, g), dram::EccVerdict::kUncorrected);
+    }
+  }
+}
+
+// Table I shape assertions on a mid-size fleet (tolerances account for the
+// reduced scale).
+class TableOneShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    purley_ = new FleetTrace(simulate_fleet(purley_scenario().scaled(0.4)));
+    whitley_ = new FleetTrace(simulate_fleet(whitley_scenario().scaled(0.4)));
+    k920_ = new FleetTrace(simulate_fleet(k920_scenario().scaled(0.4)));
+  }
+  static void TearDownTestSuite() {
+    delete purley_;
+    delete whitley_;
+    delete k920_;
+    purley_ = whitley_ = k920_ = nullptr;
+  }
+  static double predictable_share(const FleetTrace& fleet) {
+    return static_cast<double>(fleet.predictable_ue_dimms()) /
+           static_cast<double>(fleet.dimms_with_ue());
+  }
+  static double ue_rate(const FleetTrace& fleet) {
+    return static_cast<double>(fleet.dimms_with_ue()) /
+           static_cast<double>(fleet.dimms_with_ce());
+  }
+  static FleetTrace* purley_;
+  static FleetTrace* whitley_;
+  static FleetTrace* k920_;
+};
+
+FleetTrace* TableOneShapeTest::purley_ = nullptr;
+FleetTrace* TableOneShapeTest::whitley_ = nullptr;
+FleetTrace* TableOneShapeTest::k920_ = nullptr;
+
+TEST_F(TableOneShapeTest, PurleyPredictableDominant) {
+  EXPECT_NEAR(predictable_share(*purley_), 0.73, 0.10);
+}
+
+TEST_F(TableOneShapeTest, WhitleySuddenDominant) {
+  EXPECT_LT(predictable_share(*whitley_), 0.5);
+  EXPECT_NEAR(predictable_share(*whitley_), 0.42, 0.12);
+}
+
+TEST_F(TableOneShapeTest, K920StronglyPredictable) {
+  EXPECT_NEAR(predictable_share(*k920_), 0.82, 0.10);
+}
+
+TEST_F(TableOneShapeTest, UeRateOrderingAcrossPlatforms) {
+  // Finding 1: Purley > Whitley > K920 in overall UE incidence.
+  EXPECT_GT(ue_rate(*purley_), ue_rate(*whitley_));
+  EXPECT_GT(ue_rate(*whitley_), ue_rate(*k920_));
+}
+
+TEST_F(TableOneShapeTest, ObservedDimmsHaveTelemetry) {
+  for (const FleetTrace* fleet : {purley_, whitley_, k920_}) {
+    for (const DimmTrace& dimm : fleet->dimms) {
+      EXPECT_TRUE(dimm.has_ce() || dimm.has_ue());
+      EXPECT_EQ(dimm.platform, fleet->platform);
+    }
+  }
+}
+
+TEST(Config, SamplerProducesValidConfigs) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const dram::DimmConfig config =
+        sample_dimm_config(dram::Platform::kIntelWhitley, rng, i % 2 == 0);
+    EXPECT_GE(config.frequency_mhz, 2400);
+    EXPECT_LE(config.frequency_mhz, 3200);
+    EXPECT_FALSE(config.part_number.empty());
+    EXPECT_EQ(config.width, dram::DeviceWidth::kX4);
+  }
+}
+
+}  // namespace
+}  // namespace memfp::sim

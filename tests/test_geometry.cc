@@ -1,0 +1,58 @@
+#include "dram/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp::dram {
+namespace {
+
+TEST(Geometry, X4TransferWidth) {
+  const Geometry g = Geometry::ddr4_x4();
+  EXPECT_EQ(g.devices_per_rank(), 18);
+  EXPECT_EQ(g.dq_per_device(), 4);
+  EXPECT_EQ(g.total_dq(), 72);  // 64 data + 8 ECC bits per beat
+  EXPECT_EQ(g.beats, 8);
+}
+
+TEST(Geometry, X8TransferWidth) {
+  const Geometry g = Geometry::ddr4_x8();
+  EXPECT_EQ(g.devices_per_rank(), 9);
+  EXPECT_EQ(g.dq_per_device(), 8);
+  EXPECT_EQ(g.total_dq(), 72);
+}
+
+TEST(Geometry, DqDeviceMappingIsInverse) {
+  const Geometry g = Geometry::ddr4_x4();
+  for (int device = 0; device < g.devices_per_rank(); ++device) {
+    const int base = g.device_dq_base(device);
+    for (int lane = 0; lane < g.dq_per_device(); ++lane) {
+      EXPECT_EQ(g.device_of_dq(base + lane), device);
+    }
+  }
+}
+
+TEST(Geometry, NamesAreStable) {
+  EXPECT_STREQ(platform_name(Platform::kIntelPurley), "Intel Purley");
+  EXPECT_STREQ(platform_name(Platform::kIntelWhitley), "Intel Whitley");
+  EXPECT_STREQ(platform_name(Platform::kK920), "K920");
+  EXPECT_STREQ(manufacturer_name(Manufacturer::kB), "B");
+  EXPECT_STREQ(process_name(DramProcess::k1z), "1z");
+}
+
+TEST(DimmConfig, GeometryFollowsWidth) {
+  DimmConfig config;
+  config.width = DeviceWidth::kX4;
+  EXPECT_EQ(config.geometry().devices_per_rank(), 18);
+  config.width = DeviceWidth::kX8;
+  EXPECT_EQ(config.geometry().devices_per_rank(), 9);
+}
+
+TEST(CellCoord, Equality) {
+  CellCoord a{0, 1, 2, 3, 4};
+  CellCoord b = a;
+  EXPECT_EQ(a, b);
+  b.column = 5;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace memfp::dram

@@ -1,0 +1,83 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(5), 1.0);
+  EXPECT_EQ(h.count(9), 1.0);
+  EXPECT_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(4), 1.0);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  h.add(0.25, 0.5);
+  EXPECT_EQ(h.count(0), 3.0);
+  EXPECT_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, FractionSumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (double v : {0.1, 0.3, 0.6, 0.9, 0.95}) h.add(v);
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) total += h.fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.fraction(0), 0.0);
+}
+
+TEST(RatioByCategory, TracksRates) {
+  RatioByCategory r;
+  r.add("row", true);
+  r.add("row", false);
+  r.add("row", true);
+  r.add("cell", false);
+  EXPECT_NEAR(r.rate("row"), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.rate("cell"), 0.0);
+  EXPECT_EQ(r.trials("row"), 3u);
+  EXPECT_EQ(r.hits("row"), 2u);
+}
+
+TEST(RatioByCategory, UnknownCategoryIsZero) {
+  RatioByCategory r;
+  EXPECT_EQ(r.rate("nope"), 0.0);
+  EXPECT_EQ(r.trials("nope"), 0u);
+}
+
+TEST(RatioByCategory, CategoriesSorted) {
+  RatioByCategory r;
+  r.add("b", true);
+  r.add("a", false);
+  const std::vector<std::string> expected{"a", "b"};
+  EXPECT_EQ(r.categories(), expected);
+}
+
+}  // namespace
+}  // namespace memfp

@@ -1,0 +1,120 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace memfp::ml {
+namespace {
+
+TEST(Confusion, BasicRates) {
+  Confusion c{8, 2, 4, 86};
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_NEAR(c.recall(), 8.0 / 12.0, 1e-12);
+  const double p = 0.8, r = 8.0 / 12.0;
+  EXPECT_NEAR(c.f1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(Confusion, EmptyDenominators) {
+  Confusion c;
+  EXPECT_EQ(c.precision(), 0.0);
+  EXPECT_EQ(c.recall(), 0.0);
+  EXPECT_EQ(c.f1(), 0.0);
+}
+
+TEST(Virr, MatchesPaperFormula) {
+  // VIRR = (1 - y_c / precision) * recall, y_c = 0.1 (paper Section IV).
+  Confusion c{54, 46, 13, 887};  // precision 0.54, recall ~0.806
+  const double expected = (1.0 - 0.1 / c.precision()) * c.recall();
+  EXPECT_NEAR(c.virr(0.1), expected, 1e-12);
+}
+
+TEST(Virr, NegativeWhenPrecisionBelowColdFraction) {
+  Confusion c{5, 95, 5, 895};  // precision 0.05 < y_c = 0.1
+  EXPECT_LT(c.virr(0.1), 0.0);
+}
+
+TEST(Virr, ZeroColdMigrationGivesRecall) {
+  Confusion c{6, 2, 2, 90};
+  EXPECT_NEAR(c.virr(0.0), c.recall(), 1e-12);
+}
+
+TEST(ConfusionAt, ThresholdSemantics) {
+  const std::vector<double> scores{0.9, 0.7, 0.4, 0.2};
+  const std::vector<int> labels{1, 0, 1, 0};
+  const Confusion c = confusion_at(scores, labels, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+}
+
+TEST(BestF1Threshold, FindsSeparatingPoint) {
+  // Perfectly separable at 0.5.
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, 0, 0};
+  const ThresholdChoice choice = best_f1_threshold(scores, labels);
+  EXPECT_NEAR(choice.confusion.f1(), 1.0, 1e-12);
+  EXPECT_GT(choice.threshold, 0.2);
+  EXPECT_LE(choice.threshold, 0.8);
+}
+
+TEST(BestF1Threshold, HandlesTies) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, 1, 0, 0};
+  const ThresholdChoice choice = best_f1_threshold(scores, labels);
+  // All-or-nothing: best F1 is 2*2/(2*2+2+0) = 0.667 (alarm everything).
+  EXPECT_NEAR(choice.confusion.f1(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(PrAuc, PerfectRankingIsOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.3, 0.1};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_NEAR(pr_auc(scores, labels), 1.0, 1e-12);
+}
+
+TEST(PrAuc, RandomRankingNearPrevalence) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.2));
+  }
+  EXPECT_NEAR(pr_auc(scores, labels), 0.2, 0.02);
+}
+
+TEST(PrAuc, NoPositivesIsZero) {
+  EXPECT_EQ(pr_auc({0.5, 0.4}, {0, 0}), 0.0);
+}
+
+TEST(RocAuc, PerfectAndInverted) {
+  const std::vector<double> scores{0.9, 0.8, 0.3, 0.1};
+  EXPECT_NEAR(roc_auc(scores, {1, 1, 0, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(roc_auc(scores, {0, 0, 1, 1}), 0.0, 1e-12);
+}
+
+TEST(RocAuc, TiesGiveHalfCredit) {
+  const std::vector<double> scores{0.5, 0.5};
+  EXPECT_NEAR(roc_auc(scores, {1, 0}), 0.5, 1e-12);
+}
+
+TEST(RocAuc, DegenerateClassesGiveHalf) {
+  EXPECT_EQ(roc_auc({0.1, 0.2}, {1, 1}), 0.5);
+}
+
+TEST(LogLoss, KnownValue) {
+  // -log(0.8) for a confident correct prediction.
+  EXPECT_NEAR(log_loss({0.8}, {1}), -std::log(0.8), 1e-12);
+  EXPECT_NEAR(log_loss({0.8}, {0}), -std::log(0.2), 1e-9);
+}
+
+TEST(LogLoss, ClampsExtremeScores) {
+  EXPECT_TRUE(std::isfinite(log_loss({0.0}, {1})));
+  EXPECT_TRUE(std::isfinite(log_loss({1.0}, {0})));
+}
+
+}  // namespace
+}  // namespace memfp::ml

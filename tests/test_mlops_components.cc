@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "mlops/alarm.h"
+#include "mlops/data_lake.h"
+#include "mlops/feature_store.h"
+#include "mlops/model_registry.h"
+#include "mlops/monitoring.h"
+#include "sim/fleet.h"
+
+namespace memfp::mlops {
+namespace {
+
+TEST(DataLake, IngestAndRetrieve) {
+  DataLake lake;
+  sim::FleetTrace fleet;
+  fleet.platform = dram::Platform::kK920;
+  sim::DimmTrace dimm;
+  dram::CeEvent ce;
+  ce.time = days(1);
+  ce.pattern.add({0, 0});
+  dimm.ces.push_back(ce);
+  fleet.dimms.push_back(dimm);
+  lake.ingest("bmc/k920/h1", std::move(fleet));
+
+  EXPECT_TRUE(lake.contains("bmc/k920/h1"));
+  EXPECT_FALSE(lake.contains("bmc/k920/h2"));
+  EXPECT_EQ(lake.get("bmc/k920/h1").platform, dram::Platform::kK920);
+  EXPECT_EQ(lake.record_count(), 1u);
+  EXPECT_THROW(lake.get("missing"), std::out_of_range);
+  EXPECT_EQ(lake.partitions().size(), 1u);
+}
+
+TEST(DataLake, ReIngestReplaces) {
+  DataLake lake;
+  lake.ingest("p", sim::FleetTrace{});
+  sim::FleetTrace bigger;
+  bigger.dimms.resize(3);
+  lake.ingest("p", std::move(bigger));
+  EXPECT_EQ(lake.get("p").dimms.size(), 3u);
+  EXPECT_EQ(lake.partitions().size(), 1u);
+}
+
+TEST(FeatureStore, CatalogListsAllFeatures) {
+  FeatureStore store;
+  const Json catalog = store.catalog();
+  EXPECT_EQ(catalog.at("features").as_array().size(), store.schema().size());
+  // Categorical entries carry their cardinality.
+  bool saw_categorical = false;
+  for (const Json& entry : catalog.at("features").as_array()) {
+    if (entry.at("type").as_string() == "categorical") {
+      saw_categorical = true;
+      EXPECT_GT(entry.at("cardinality").as_int(), 1);
+    }
+  }
+  EXPECT_TRUE(saw_categorical);
+}
+
+TEST(FeatureStore, TrainingServingConsistency) {
+  FeatureStore store;
+  const sim::FleetTrace fleet =
+      sim::simulate_fleet(sim::purley_scenario().scaled(0.02));
+  int checked = 0;
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    if (dimm.ces.empty()) continue;
+    for (SimTime t : {days(30), days(100), days(200)}) {
+      EXPECT_TRUE(store.check_consistency(dimm, t, fleet.horizon))
+          << "dimm " << dimm.id << " t=" << t;
+    }
+    if (++checked >= 10) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ModelRegistry, FirstPromotionAlwaysPasses) {
+  ModelRegistry registry;
+  ModelVersion v;
+  v.platform = dram::Platform::kIntelPurley;
+  v.benchmark_f1 = 0.5;
+  const int id = registry.add(std::move(v));
+  EXPECT_TRUE(registry.promote(id));
+  ASSERT_NE(registry.production(dram::Platform::kIntelPurley), nullptr);
+  EXPECT_EQ(registry.production(dram::Platform::kIntelPurley)->version, id);
+}
+
+TEST(ModelRegistry, GateRejectsWorseCandidate) {
+  ModelRegistry registry;
+  ModelVersion good;
+  good.platform = dram::Platform::kIntelPurley;
+  good.benchmark_f1 = 0.6;
+  const int good_id = registry.add(std::move(good));
+  registry.promote(good_id);
+
+  ModelVersion worse;
+  worse.platform = dram::Platform::kIntelPurley;
+  worse.benchmark_f1 = 0.55;
+  const int worse_id = registry.add(std::move(worse));
+  EXPECT_FALSE(registry.promote(worse_id, 0.0));
+  EXPECT_EQ(registry.production(dram::Platform::kIntelPurley)->version,
+            good_id);
+  EXPECT_EQ(registry.get(worse_id)->stage, ModelStage::kStaging);
+}
+
+TEST(ModelRegistry, PromotionArchivesIncumbent) {
+  ModelRegistry registry;
+  ModelVersion first;
+  first.platform = dram::Platform::kK920;
+  first.benchmark_f1 = 0.4;
+  const int first_id = registry.add(std::move(first));
+  registry.promote(first_id);
+
+  ModelVersion second;
+  second.platform = dram::Platform::kK920;
+  second.benchmark_f1 = 0.5;
+  const int second_id = registry.add(std::move(second));
+  EXPECT_TRUE(registry.promote(second_id));
+  EXPECT_EQ(registry.get(first_id)->stage, ModelStage::kArchived);
+  EXPECT_EQ(registry.production(dram::Platform::kK920)->version, second_id);
+}
+
+TEST(ModelRegistry, PlatformsAreIndependent) {
+  ModelRegistry registry;
+  ModelVersion purley;
+  purley.platform = dram::Platform::kIntelPurley;
+  purley.benchmark_f1 = 0.9;
+  registry.promote(registry.add(std::move(purley)));
+  EXPECT_EQ(registry.production(dram::Platform::kK920), nullptr);
+
+  ModelVersion k920;
+  k920.platform = dram::Platform::kK920;
+  k920.benchmark_f1 = 0.1;  // worse than Purley's, but a different platform
+  const int id = registry.add(std::move(k920));
+  EXPECT_TRUE(registry.promote(id));
+}
+
+TEST(ModelRegistry, JsonRoundTrip) {
+  ModelRegistry registry;
+  ModelVersion v;
+  v.platform = dram::Platform::kIntelWhitley;
+  v.algorithm = "LightGBM";
+  v.benchmark_f1 = 0.49;
+  v.threshold = 0.8;
+  v.artifact = Json::object().set("type", "gbdt");
+  const int id = registry.add(std::move(v));
+  registry.promote(id);
+
+  const ModelRegistry restored =
+      ModelRegistry::from_json(Json::parse(registry.to_json().dump()));
+  const ModelVersion* production =
+      restored.production(dram::Platform::kIntelWhitley);
+  ASSERT_NE(production, nullptr);
+  EXPECT_EQ(production->algorithm, "LightGBM");
+  EXPECT_DOUBLE_EQ(production->threshold, 0.8);
+  // Version numbering continues after the restore.
+  ModelRegistry mutable_restored = restored;
+  ModelVersion next;
+  next.platform = dram::Platform::kIntelWhitley;
+  EXPECT_GT(mutable_restored.add(std::move(next)), id);
+}
+
+TEST(AlarmSystem, CoalescesRepeatAlarms) {
+  AlarmSystem alarms;
+  alarms.raise(1, days(1), 0.9);
+  alarms.raise(1, days(2), 0.95);
+  alarms.raise(2, days(3), 0.8);
+  EXPECT_EQ(alarms.alarms().size(), 2u);
+  EXPECT_EQ(*alarms.first_alarm(1), days(1));
+  EXPECT_FALSE(alarms.first_alarm(99).has_value());
+}
+
+TEST(Mitigation, AccountingMatchesPaperFormula) {
+  // 2 timely TPs, 1 FP, 1 missed FN.
+  sim::FleetTrace fleet;
+  AlarmSystem alarms;
+  features::PredictionWindows windows;
+  for (int i = 0; i < 2; ++i) {
+    sim::DimmTrace dimm;
+    dimm.id = static_cast<dram::DimmId>(i);
+    dram::CeEvent ce;
+    ce.time = days(1);
+    ce.pattern.add({0, 0});
+    dimm.ces.push_back(ce);
+    dimm.ue = dram::UeEvent{};
+    dimm.ue->time = days(20);
+    dimm.ue->had_prior_ce = true;
+    fleet.dimms.push_back(dimm);
+    alarms.raise(dimm.id, days(19), 0.9);
+  }
+  sim::DimmTrace missed = fleet.dimms[0];
+  missed.id = 10;
+  fleet.dimms.push_back(missed);
+  sim::DimmTrace healthy;
+  healthy.id = 20;
+  fleet.dimms.push_back(healthy);
+  alarms.raise(20, days(5), 0.7);
+
+  MitigationPolicy policy;
+  policy.vms_per_server = 10.0;
+  policy.cold_migration_fraction = 0.1;
+  const MitigationReport report =
+      account_mitigations(fleet, alarms, windows, policy);
+  EXPECT_EQ(report.true_positives, 2u);
+  EXPECT_EQ(report.false_positives, 1u);
+  EXPECT_EQ(report.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(report.interruptions_without_prediction, 30.0);
+  EXPECT_DOUBLE_EQ(report.interruptions_with_prediction, 10.0 * 0.1 * 3 + 10.0);
+  EXPECT_NEAR(report.realized_virr, (30.0 - 13.0) / 30.0, 1e-12);
+}
+
+TEST(Monitoring, CountersAndFeedback) {
+  Monitoring monitoring;
+  monitoring.record_ingest(100);
+  monitoring.record_prediction(0.2);
+  monitoring.record_prediction(0.9);
+  monitoring.record_alarm();
+  monitoring.record_alarm_feedback(true);
+  monitoring.record_alarm_feedback(false);
+  monitoring.record_missed_failure();
+  EXPECT_EQ(monitoring.ingested(), 100u);
+  EXPECT_EQ(monitoring.predictions(), 2u);
+  EXPECT_EQ(monitoring.alarms(), 1u);
+  EXPECT_DOUBLE_EQ(monitoring.online_precision(), 0.5);
+  EXPECT_DOUBLE_EQ(monitoring.online_recall(), 0.5);
+  EXPECT_NE(monitoring.dashboard().find("alarms raised"), std::string::npos);
+}
+
+TEST(Monitoring, DriftDetection) {
+  Monitoring monitoring;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    monitoring.record_prediction(rng.uniform(0.0, 0.3));
+  }
+  monitoring.freeze_reference();
+  // Same distribution: no drift.
+  for (int i = 0; i < 2000; ++i) {
+    monitoring.record_prediction(rng.uniform(0.0, 0.3));
+  }
+  EXPECT_FALSE(monitoring.drift_detected());
+  // Shifted scores: drift.
+  for (int i = 0; i < 4000; ++i) {
+    monitoring.record_prediction(rng.uniform(0.5, 1.0));
+  }
+  EXPECT_TRUE(monitoring.drift_detected());
+}
+
+}  // namespace
+}  // namespace memfp::mlops

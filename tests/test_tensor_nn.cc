@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/nn.h"
+#include "ml/tensor.h"
+
+namespace memfp::ml {
+namespace {
+
+Tensor filled(std::size_t rows, std::size_t cols,
+              std::initializer_list<float> values) {
+  Tensor t(rows, cols);
+  std::size_t i = 0;
+  for (float v : values) t.data()[i++] = v;
+  return t;
+}
+
+TEST(Tensor, GemmKnownValues) {
+  const Tensor a = filled(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = filled(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor out;
+  gemm(a, b, out);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(out(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(out(1, 1), 154.0f);
+}
+
+TEST(Tensor, GemmAtMatchesExplicitTranspose) {
+  Rng rng(1);
+  const Tensor a = Tensor::random_uniform(4, 3, 1.0f, rng);
+  const Tensor b = Tensor::random_uniform(4, 5, 1.0f, rng);
+  Tensor via_at;
+  gemm_at(a, b, via_at);  // a^T @ b -> 3x5
+  // Build a^T explicitly and multiply.
+  Tensor at(3, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) at(c, r) = a(r, c);
+  }
+  Tensor direct;
+  gemm(at, b, direct);
+  for (std::size_t i = 0; i < via_at.size(); ++i) {
+    EXPECT_NEAR(via_at.data()[i], direct.data()[i], 1e-5);
+  }
+}
+
+TEST(Tensor, GemmBtMatchesExplicitTranspose) {
+  Rng rng(2);
+  const Tensor a = Tensor::random_uniform(3, 4, 1.0f, rng);
+  const Tensor b = Tensor::random_uniform(5, 4, 1.0f, rng);
+  Tensor via_bt;
+  gemm_bt(a, b, via_bt);  // a @ b^T -> 3x5
+  Tensor bt(4, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) bt(c, r) = b(r, c);
+  }
+  Tensor direct;
+  gemm(a, bt, direct);
+  for (std::size_t i = 0; i < via_bt.size(); ++i) {
+    EXPECT_NEAR(via_bt.data()[i], direct.data()[i], 1e-5);
+  }
+}
+
+TEST(Tensor, GemmAccumulates) {
+  const Tensor a = filled(1, 1, {2});
+  const Tensor b = filled(1, 1, {3});
+  Tensor out(1, 1, 10.0f);
+  gemm(a, b, out, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(out(0, 0), 16.0f);
+}
+
+TEST(Tensor, Axpy) {
+  const Tensor x = filled(1, 3, {1, 2, 3});
+  Tensor y = filled(1, 3, {10, 20, 30});
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y(0, 2), 36.0f);
+}
+
+TEST(Tensor, RandomUniformWithinBound) {
+  Rng rng(3);
+  const Tensor t = Tensor::random_uniform(10, 10, 0.25f, rng);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.data()[i], -0.25f);
+    EXPECT_LE(t.data()[i], 0.25f);
+  }
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // minimize f(w) = sum (w - target)^2 by feeding Adam the gradient.
+  Param w(Tensor(1, 4, 0.0f));
+  const float targets[4] = {1.0f, -2.0f, 0.5f, 3.0f};
+  Adam adam({0.05, 0.9, 0.999, 1e-8, 0.0});
+  for (int step = 0; step < 400; ++step) {
+    Tensor grad(1, 4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      grad(0, c) = 2.0f * (w.value(0, c) - targets[c]);
+    }
+    adam.begin_step();
+    adam.update(w, grad);
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(w.value(0, c), targets[c], 0.05);
+  }
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  Param w(Tensor(1, 1, 5.0f));
+  Adam adam({0.01, 0.9, 0.999, 1e-8, 0.1});
+  const Tensor zero_grad(1, 1, 0.0f);
+  for (int step = 0; step < 200; ++step) {
+    adam.begin_step();
+    adam.update(w, zero_grad);
+  }
+  EXPECT_LT(std::fabs(w.value(0, 0)), 5.0f);
+}
+
+TEST(BoundParams, AppliesGradientsBackToParams) {
+  Param w(Tensor(1, 2, 1.0f));
+  Graph graph;
+  BoundParams bound(graph, {&w});
+  // loss = sum over a matmul with a fixed vector.
+  Tensor v(2, 1);
+  v(0, 0) = 1.0f;
+  v(1, 0) = 2.0f;
+  const int vid = graph.leaf(v, false);
+  const int out = graph.matmul(bound.id(0), vid);
+  graph.backward(out);
+  Adam adam({0.1, 0.9, 0.999, 1e-8, 0.0});
+  adam.begin_step();
+  const float before0 = w.value(0, 0);
+  bound.apply(adam);
+  // Gradient is positive (1.0 and 2.0), so Adam moves both weights down.
+  EXPECT_LT(w.value(0, 0), before0);
+  EXPECT_LT(w.value(0, 1), 1.0f);
+}
+
+}  // namespace
+}  // namespace memfp::ml

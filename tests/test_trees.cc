@@ -1,0 +1,158 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace memfp::ml {
+namespace {
+
+/// y = 1 iff x0 > 0.5 (plus an irrelevant second feature).
+Dataset threshold_dataset(std::size_t n, Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform());
+    const float x1 = static_cast<float>(rng.uniform());
+    d.x.push_row(std::vector<float>{x0, x1});
+    d.y.push_back(x0 > 0.5f ? 1 : 0);
+    d.weight.push_back(1.0f);
+    d.dimm.push_back(static_cast<dram::DimmId>(i));
+    d.time.push_back(0);
+  }
+  return d;
+}
+
+std::vector<std::size_t> all_rows(const Dataset& d) {
+  std::vector<std::size_t> rows(d.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(ClassificationTree, LearnsAxisAlignedSplit) {
+  Rng rng(1);
+  const Dataset d = threshold_dataset(500, rng);
+  const BinnedDataset binned = BinnedDataset::build(d);
+  ClassificationTreeParams params;
+  params.feature_fraction = 1.0;
+  const Tree tree = fit_classification_tree(binned, all_rows(d), params, rng);
+  int correct = 0;
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    const double p = tree.predict(d.x.row(r));
+    correct += (p > 0.5) == (d.y[r] == 1);
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(d.size()), 0.97);
+}
+
+TEST(ClassificationTree, PureNodeIsLeaf) {
+  Rng rng(2);
+  Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.x.push_row(std::vector<float>{static_cast<float>(i)});
+    d.y.push_back(1);  // all positive
+    d.weight.push_back(1.0f);
+    d.dimm.push_back(0);
+    d.time.push_back(0);
+  }
+  const BinnedDataset binned = BinnedDataset::build(d);
+  const Tree tree =
+      fit_classification_tree(binned, all_rows(d), {}, rng);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(d.x.row(0)), 1.0);
+}
+
+TEST(ClassificationTree, RespectsMaxDepth) {
+  Rng rng(3);
+  const Dataset d = threshold_dataset(500, rng);
+  const BinnedDataset binned = BinnedDataset::build(d);
+  ClassificationTreeParams params;
+  params.max_depth = 1;
+  params.feature_fraction = 1.0;
+  const Tree tree = fit_classification_tree(binned, all_rows(d), params, rng);
+  // Depth-1 tree: at most 3 nodes.
+  EXPECT_LE(tree.nodes().size(), 3u);
+}
+
+TEST(ClassificationTree, WeightsShiftLeafValues) {
+  Rng rng(4);
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.x.push_row(std::vector<float>{0.0f});
+    d.y.push_back(i < 50 ? 1 : 0);
+    d.weight.push_back(i < 50 ? 3.0f : 1.0f);
+    d.dimm.push_back(0);
+    d.time.push_back(0);
+  }
+  const BinnedDataset binned = BinnedDataset::build(d);
+  const Tree tree = fit_classification_tree(binned, all_rows(d), {}, rng);
+  EXPECT_NEAR(tree.predict(d.x.row(0)), 0.75, 1e-9);
+}
+
+TEST(GradientTree, FitsResiduals) {
+  Rng rng(5);
+  const Dataset d = threshold_dataset(500, rng);
+  const BinnedDataset binned = BinnedDataset::build(d);
+  // Gradients of squared loss from a zero prediction: grad = -y, hess = 1.
+  std::vector<double> grad(d.size()), hess(d.size(), 1.0);
+  for (std::size_t r = 0; r < d.size(); ++r) grad[r] = -(d.y[r] == 1 ? 1.0 : 0.0);
+  GradientTreeParams params;
+  params.feature_fraction = 1.0;
+  const Tree tree =
+      fit_gradient_tree(binned, all_rows(d), grad, hess, params, rng);
+  // Leaf values approximate the class mean in each region.
+  double pos_pred = 0.0;
+  int pos_count = 0;
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    if (d.y[r] == 1) {
+      pos_pred += tree.predict(d.x.row(r));
+      ++pos_count;
+    }
+  }
+  EXPECT_GT(pos_pred / pos_count, 0.8);
+}
+
+TEST(GradientTree, RespectsMaxLeaves) {
+  Rng rng(6);
+  const Dataset d = threshold_dataset(1000, rng);
+  const BinnedDataset binned = BinnedDataset::build(d);
+  std::vector<double> grad(d.size()), hess(d.size(), 1.0);
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    grad[r] = static_cast<double>(r % 7) - 3.0;  // noisy gradients
+  }
+  GradientTreeParams params;
+  params.max_leaves = 4;
+  const Tree tree =
+      fit_gradient_tree(binned, all_rows(d), grad, hess, params, rng);
+  EXPECT_LE(tree.leaves(), 4u);
+}
+
+TEST(GradientTree, MinHessianStopsSplitting) {
+  Rng rng(7);
+  const Dataset d = threshold_dataset(50, rng);
+  const BinnedDataset binned = BinnedDataset::build(d);
+  std::vector<double> grad(d.size(), -1.0), hess(d.size(), 0.001);
+  GradientTreeParams params;
+  params.min_child_hessian = 10.0;  // unreachable with tiny hessians
+  const Tree tree =
+      fit_gradient_tree(binned, all_rows(d), grad, hess, params, rng);
+  EXPECT_EQ(tree.leaves(), 1u);
+}
+
+TEST(Tree, JsonRoundTripPreservesPredictions) {
+  Rng rng(8);
+  const Dataset d = threshold_dataset(300, rng);
+  const BinnedDataset binned = BinnedDataset::build(d);
+  ClassificationTreeParams params;
+  params.feature_fraction = 1.0;
+  const Tree tree = fit_classification_tree(binned, all_rows(d), params, rng);
+  const Tree restored = Tree::from_json(Json::parse(tree.to_json().dump()));
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    EXPECT_DOUBLE_EQ(tree.predict(d.x.row(r)), restored.predict(d.x.row(r)));
+  }
+}
+
+TEST(Tree, EmptyTreePredictsZero) {
+  const Tree tree;
+  const std::vector<float> row{1.0f};
+  EXPECT_EQ(tree.predict(row), 0.0);
+}
+
+}  // namespace
+}  // namespace memfp::ml

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/platform_profile.h"
+#include "features/windows.h"
+
+namespace memfp {
+namespace {
+
+TEST(PredictionWindows, PaperDefaults) {
+  const features::PredictionWindows w;
+  EXPECT_EQ(w.observation, days(5));
+  EXPECT_EQ(w.lead, hours(3));
+  EXPECT_EQ(w.prediction, days(30));
+}
+
+class LabelForTest
+    : public ::testing::TestWithParam<std::tuple<SimTime, int>> {};
+
+TEST_P(LabelForTest, ZonesMatchFig3) {
+  const auto [delta, expected] = GetParam();
+  features::PredictionWindows w;
+  const SimTime ue = days(100);
+  EXPECT_EQ(w.label_for(ue - delta, ue), expected) << "delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zones, LabelForTest,
+    ::testing::Values(
+        std::make_tuple(-kHour, 0),              // UE already past
+        std::make_tuple(kMinute, -1),            // inside too-late zone
+        std::make_tuple(hours(3) - 1, -1),       // just inside too-late
+        std::make_tuple(hours(3), 1),            // exactly min lead
+        std::make_tuple(days(15), 1),            // mid prediction window
+        std::make_tuple(hours(3) + days(30), 1), // exactly max validity
+        std::make_tuple(hours(4) + days(30), 0), // beyond the window
+        std::make_tuple(days(200), 0)));         // far future
+
+TEST(PlatformProfile, PaperTableIIRows) {
+  const core::PlatformProfile purley =
+      core::profile_for(dram::Platform::kIntelPurley);
+  EXPECT_TRUE(purley.risky_ce_baseline_applicable);
+  ASSERT_TRUE(purley.paper_risky_ce.has_value());
+  EXPECT_DOUBLE_EQ(purley.paper_risky_ce->f1, 0.49);
+  EXPECT_DOUBLE_EQ(purley.paper_lightgbm.f1, 0.64);
+
+  const core::PlatformProfile whitley =
+      core::profile_for(dram::Platform::kIntelWhitley);
+  EXPECT_FALSE(whitley.risky_ce_baseline_applicable);
+  EXPECT_FALSE(whitley.paper_risky_ce.has_value());
+  EXPECT_DOUBLE_EQ(whitley.paper_ft_transformer.f1, 0.50);
+
+  const core::PlatformProfile k920 = core::profile_for(dram::Platform::kK920);
+  EXPECT_DOUBLE_EQ(k920.paper_lightgbm.f1, 0.54);
+  EXPECT_NE(purley.ecc_name, k920.ecc_name);
+}
+
+TEST(Logging, LevelFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold logging must not crash and is simply dropped.
+  MEMFP_DEBUG << "dropped";
+  MEMFP_INFO << "dropped";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace memfp
