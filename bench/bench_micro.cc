@@ -4,6 +4,9 @@
 // pass.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "dram/ecc.h"
 #include "dram/fault.h"
@@ -168,5 +171,83 @@ void BM_FleetSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FleetSimulation)->Unit(benchmark::kMillisecond);
+
+// --- Parallel hot paths -----------------------------------------------------
+//
+// Each benchmark takes the thread count as its argument (1 / 2 / pool
+// default), capping the pool with ScopedLimit, so the speedup trajectory is
+// visible in the bench JSON. Outputs are byte-identical across thread counts
+// (the determinism contract); only wall-clock changes.
+
+void thread_args(benchmark::internal::Benchmark* bench) {
+  bench->ArgName("threads");
+  bench->Arg(1);
+  bench->Arg(2);
+  const int full = ThreadPool::default_threads();
+  if (full > 2) bench->Arg(full);
+}
+
+void BM_ParallelFleetSim(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(static_cast<int>(state.range(0)));
+  const sim::ScenarioParams scenario = sim::purley_scenario().scaled(0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_fleet(scenario));
+  }
+}
+BENCHMARK(BM_ParallelFleetSim)->Apply(thread_args)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForestFit(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(static_cast<int>(state.range(0)));
+  const ml::Dataset d = bench_dataset(2000);
+  ml::RandomForestParams params;
+  params.trees = 30;
+  for (auto _ : state) {
+    Rng rng(7);
+    ml::RandomForest model(params);
+    model.fit(d, rng);
+    benchmark::DoNotOptimize(model.trees().size());
+  }
+}
+BENCHMARK(BM_ParallelForestFit)->Apply(thread_args)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelGbdtFit(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(static_cast<int>(state.range(0)));
+  const ml::Dataset d = bench_dataset(4000);
+  ml::GbdtParams params;
+  params.max_rounds = 30;
+  params.early_stopping_rounds = 0;
+  for (auto _ : state) {
+    Rng rng(5);
+    ml::Gbdt model(params);
+    model.fit(d, rng);
+    benchmark::DoNotOptimize(model.rounds_used());
+  }
+}
+BENCHMARK(BM_ParallelGbdtFit)->Apply(thread_args)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScoreDimms(benchmark::State& state) {
+  // Train once (shared across thread-count variants); time only the
+  // fleet-scale per-DIMM scoring loop — the paper's operational bottleneck.
+  static const sim::FleetTrace& fleet = feature_fleet();
+  static core::Experiment* experiment = [] {
+    return new core::Experiment(fleet, core::PipelineConfig{});
+  }();
+  static const ml::BinaryClassifier* model = [] {
+    auto fitted = experiment->run_with_model(core::Algorithm::kRandomForest);
+    return fitted.second.release();
+  }();
+  ThreadPool::ScopedLimit cap(static_cast<int>(state.range(0)));
+  std::vector<core::ScoredStream> streams;
+  std::vector<core::AlarmOutcome> outcomes;
+  for (auto _ : state) {
+    experiment->score_dimms(*model, experiment->test_dimms(), streams,
+                            outcomes, nullptr, nullptr);
+    benchmark::DoNotOptimize(streams.size());
+  }
+}
+BENCHMARK(BM_ScoreDimms)->Apply(thread_args)->Unit(benchmark::kMillisecond);
 
 }  // namespace

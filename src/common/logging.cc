@@ -1,11 +1,18 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace memfp {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes sink writes: log records are emitted from thread-pool tasks
+// (fleet simulation, parallel scoring), and interleaved partial lines would
+// otherwise garble the output.
+std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,16 +30,26 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 
 void log_line(LogLevel level, const std::string& message) {
-  std::ostream& out =
-      level >= LogLevel::kWarning ? std::cerr : std::clog;
-  out << "[" << level_name(level) << "] " << message << '\n';
+  // Compose the whole record first so the lock covers exactly one write.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::ostream& out = level >= LogLevel::kWarning ? std::cerr : std::clog;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  out << line;
 }
 
 }  // namespace detail

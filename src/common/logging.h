@@ -1,8 +1,10 @@
 // Minimal leveled logger for library diagnostics.
 //
 // Defaults to Warning so tests and benches stay quiet; examples raise the
-// level to Info to narrate their progress. Not thread-safe by design: the
-// library is single-threaded per pipeline, and benches own their process.
+// level to Info to narrate their progress. Thread-safe: the level is atomic
+// and records are composed per-call then written under a sink mutex, so
+// thread-pool tasks (fleet simulation, parallel scoring) can log freely
+// without interleaving partial lines.
 #pragma once
 
 #include <sstream>

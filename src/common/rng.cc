@@ -153,4 +153,16 @@ Rng Rng::fork() {
   return Rng(next() ^ 0xd2b74407b1ce6e93ULL);
 }
 
+Rng Rng::fork(std::uint64_t index) const {
+  // Mix all 256 bits of parent state with the index through splitmix64 so
+  // children of adjacent indices (and of distinct parents) are decorrelated.
+  std::uint64_t s = index ^ 0xa0761d6478bd642fULL;
+  std::uint64_t seed = splitmix64(s);
+  for (const std::uint64_t word : state_) {
+    s ^= word;
+    seed ^= splitmix64(s);
+  }
+  return Rng(seed);
+}
+
 }  // namespace memfp

@@ -73,7 +73,14 @@ class Rng {
   }
 
   /// Derives an independent child generator (for per-entity streams).
+  /// Advances this generator by one draw.
   Rng fork();
+
+  /// Derives the `index`-th child stream WITHOUT advancing this generator.
+  /// Pure function of (current state, index), so parallel tasks can fork by
+  /// task index in any order — or concurrently — and every thread count
+  /// produces the same child streams.
+  Rng fork(std::uint64_t index) const;
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -5,6 +5,7 @@
 
 #include "baseline/risky_ce_pattern.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "ml/ft_transformer.h"
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
@@ -180,31 +181,51 @@ void Experiment::score_dimms(const ml::BinaryClassifier& model,
                              std::vector<AlarmOutcome>& outcomes,
                              std::vector<double>* pooled_scores,
                              std::vector<int>* pooled_labels) const {
-  streams.clear();
-  outcomes.clear();
-  for (const sim::DimmTrace* dimm : dimms) {
-    const std::vector<features::Sample> samples =
-        eval_extractor_.extract(*dimm, fleet_->horizon);
-    ScoredStream stream;
-    ml::Matrix x;
-    for (const features::Sample& sample : samples) {
-      stream.times.push_back(sample.time);
-      x.push_row(project(sample.features));
+  streams.assign(dimms.size(), {});
+  outcomes.assign(dimms.size(), {});
+  std::vector<std::vector<double>> dimm_scores(
+      pooled_scores ? dimms.size() : 0);
+  std::vector<std::vector<int>> dimm_labels(pooled_labels ? dimms.size() : 0);
+
+  ThreadPool::ScopedLimit limit(config_.num_threads);
+  ThreadPool::global().parallel_for(
+      dimms.size(),
+      [&](std::size_t d) {
+        const sim::DimmTrace* dimm = dimms[d];
+        const std::vector<features::Sample> samples =
+            eval_extractor_.extract(*dimm, fleet_->horizon);
+        ScoredStream stream;
+        ml::Matrix x;
+        for (const features::Sample& sample : samples) {
+          stream.times.push_back(sample.time);
+          x.push_row(project(sample.features));
+        }
+        stream.scores = x.rows() > 0 ? model.predict_batch(x)
+                                     : std::vector<double>{};
+        if (pooled_scores) {
+          for (std::size_t i = 0; i < samples.size(); ++i) {
+            if (samples[i].label < 0) continue;
+            dimm_scores[d].push_back(stream.scores[i]);
+            dimm_labels[d].push_back(samples[i].label);
+          }
+        }
+        AlarmOutcome outcome;
+        outcome.positive = dimm->predictable_ue();
+        outcome.ue_time = dimm->ue ? dimm->ue->time : 0;
+        streams[d] = std::move(stream);
+        outcomes[d] = outcome;
+      },
+      /*grain=*/1);
+
+  // Ordered merge: pooled vectors are concatenated in DIMM order, exactly as
+  // the serial loop appended them.
+  if (pooled_scores) {
+    for (std::size_t d = 0; d < dimms.size(); ++d) {
+      pooled_scores->insert(pooled_scores->end(), dimm_scores[d].begin(),
+                            dimm_scores[d].end());
+      pooled_labels->insert(pooled_labels->end(), dimm_labels[d].begin(),
+                            dimm_labels[d].end());
     }
-    stream.scores = x.rows() > 0 ? model.predict_batch(x)
-                                 : std::vector<double>{};
-    if (pooled_scores) {
-      for (std::size_t i = 0; i < samples.size(); ++i) {
-        if (samples[i].label < 0) continue;
-        pooled_scores->push_back(stream.scores[i]);
-        pooled_labels->push_back(samples[i].label);
-      }
-    }
-    AlarmOutcome outcome;
-    outcome.positive = dimm->predictable_ue();
-    outcome.ue_time = dimm->ue ? dimm->ue->time : 0;
-    streams.push_back(std::move(stream));
-    outcomes.push_back(outcome);
   }
 }
 
@@ -220,6 +241,9 @@ Experiment::run_with_model(Algorithm algorithm) {
 
   Result result;
   result.algorithm = algorithm_name(algorithm);
+  // Caps pool width for training and scoring alike; results do not depend
+  // on the cap (determinism contract), only wall-clock does.
+  ThreadPool::ScopedLimit limit(config_.num_threads);
   Rng rng(config_.seed ^ (static_cast<std::uint64_t>(algorithm) + 0x51ed));
   std::unique_ptr<ml::BinaryClassifier> model = make_model(algorithm);
   model->fit(train_set_, rng);

@@ -37,6 +37,11 @@ struct PipelineConfig {
   std::uint64_t seed = 13;
   /// Optional feature-column restriction (ablations); empty = all features.
   std::vector<std::size_t> active_features;
+  /// Parallelism cap for this experiment's simulation/training/scoring hot
+  /// paths: 0 = the pool default (MEMFP_THREADS env var, else
+  /// hardware_concurrency()); 1 = the serial fallback. Results are
+  /// byte-identical for every value (see DESIGN.md "Threading model").
+  int num_threads = 0;
 };
 
 /// A fleet prepared for experiments: split decided, training set built.
@@ -68,9 +73,14 @@ class Experiment {
   const ml::Dataset& train_set() const { return train_set_; }
   std::size_t train_dimm_count() const { return train_dimms_.size(); }
   std::size_t test_dimm_count() const { return test_dimms_.size(); }
+  const std::vector<const sim::DimmTrace*>& test_dimms() const {
+    return test_dimms_;
+  }
 
- private:
   /// Scores every eval-cadence sample of `dimms`; fills streams + outcomes.
+  /// One pool task per DIMM; streams, outcomes and the pooled score/label
+  /// vectors are merged in DIMM order, so confusion counts and tuned
+  /// thresholds are bit-identical to the serial path at any thread count.
   void score_dimms(const ml::BinaryClassifier& model,
                    const std::vector<const sim::DimmTrace*>& dimms,
                    std::vector<ScoredStream>& streams,
@@ -78,6 +88,7 @@ class Experiment {
                    std::vector<double>* pooled_scores,
                    std::vector<int>* pooled_labels) const;
 
+ private:
   Result run_risky_baseline();
 
   std::vector<float> project(std::span<const float> features) const;

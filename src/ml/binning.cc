@@ -5,6 +5,8 @@
 #include <limits>
 #include <set>
 
+#include "common/thread_pool.h"
+
 namespace memfp::ml {
 
 BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
@@ -14,10 +16,11 @@ BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
   const std::set<std::size_t> categorical(dataset.categorical.begin(),
                                           dataset.categorical.end());
 
-  std::vector<float> column;
-  column.reserve(dataset.x.rows());
-  for (std::size_t f = 0; f < features; ++f) {
-    column.clear();
+  // Features bin independently; each writes its own thresholds_ slot, so the
+  // result is identical for any thread count.
+  ThreadPool::global().parallel_for(features, [&](std::size_t f) {
+    std::vector<float> column;
+    column.reserve(dataset.x.rows());
     for (std::size_t r = 0; r < dataset.x.rows(); ++r) {
       column.push_back(dataset.x.at(r, f));
     }
@@ -25,7 +28,7 @@ BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
     column.erase(std::unique(column.begin(), column.end()), column.end());
 
     std::vector<float>& thresholds = mapper.thresholds_[f];
-    if (column.size() <= 1) continue;  // constant feature: single bin
+    if (column.size() <= 1) return;  // constant feature: single bin
 
     if (categorical.count(f) ||
         static_cast<int>(column.size()) <= max_bins) {
@@ -33,7 +36,7 @@ BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
       for (std::size_t i = 0; i + 1 < column.size(); ++i) {
         thresholds.push_back((column[i] + column[i + 1]) * 0.5f);
       }
-      continue;
+      return;
     }
     // Quantile thresholds over distinct values.
     for (int b = 1; b < max_bins; ++b) {
@@ -47,7 +50,7 @@ BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
         thresholds.push_back(threshold);
       }
     }
-  }
+  });
   return mapper;
 }
 
@@ -68,11 +71,12 @@ float BinMapper::threshold(std::size_t feature, int bin) const {
 
 std::vector<std::uint8_t> BinMapper::transform(const Matrix& x) const {
   std::vector<std::uint8_t> binned(x.rows() * x.cols());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
+  // Row-sliced across the pool; each row writes only its own codes.
+  ThreadPool::global().parallel_for(x.rows(), [&](std::size_t r) {
     for (std::size_t f = 0; f < x.cols(); ++f) {
       binned[r * x.cols() + f] = bin(f, x.at(r, f));
     }
-  }
+  });
   return binned;
 }
 

@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "common/thread_pool.h"
+
 namespace memfp::ml {
 
 BinnedDataset BinnedDataset::build(const Dataset& dataset, int max_bins) {
@@ -248,8 +250,12 @@ Tree fit_gradient_tree(const BinnedDataset& data,
     return g * g / (h + params.lambda);
   };
 
-  // Finds the best split for a candidate; fills feature/bin/gain.
-  FeatureHistogram hist;
+  // Finds the best split for a candidate; fills feature/bin/gain. The
+  // per-feature histograms are independent, so they are built across feature
+  // columns by the thread pool when the node is large enough to amortize the
+  // dispatch; the winning (feature, bin) is then folded in ascending
+  // tree_features order, making the chosen split a pure function of the
+  // node — identical for every thread count.
   const auto evaluate = [&](Candidate& cand) {
     cand.g = 0.0;
     cand.h = 0.0;
@@ -264,9 +270,16 @@ Tree fit_gradient_tree(const BinnedDataset& data,
       return;
     }
     const double parent = node_objective(cand.g, cand.h);
-    for (std::size_t f : tree_features) {
+
+    struct FeatureBest {
+      double gain = 0.0;
+      int bin = -1;
+    };
+    std::vector<FeatureBest> best(tree_features.size());
+    const auto scan_feature = [&](std::size_t fi, FeatureHistogram& hist) {
+      const std::size_t f = tree_features[fi];
       const int bins = data.mapper.bins(f);
-      if (bins < 2) continue;
+      if (bins < 2) return;
       hist.reset(bins);
       for (std::size_t r : cand.rows) {
         const std::uint8_t code = data.code(r, f);
@@ -284,11 +297,38 @@ Tree fit_gradient_tree(const BinnedDataset& data,
         }
         const double gain =
             node_objective(gl, hl) + node_objective(gr, hr) - parent;
-        if (gain > cand.gain + 1e-12) {
-          cand.gain = gain;
-          cand.feature = static_cast<int>(f);
-          cand.bin = b;
+        if (gain > best[fi].gain + 1e-12) {
+          best[fi].gain = gain;
+          best[fi].bin = b;
         }
+      }
+    };
+
+    // Histogram build cost ~ rows x features; below the cutoff the serial
+    // loop beats the dispatch overhead.
+    const bool parallel =
+        tree_features.size() >= 2 &&
+        cand.rows.size() * tree_features.size() >= 16384;
+    if (parallel) {
+      ThreadPool::global().parallel_for(
+          tree_features.size(),
+          [&](std::size_t fi) {
+            FeatureHistogram hist;
+            scan_feature(fi, hist);
+          },
+          /*grain=*/1);
+    } else {
+      FeatureHistogram hist;
+      for (std::size_t fi = 0; fi < tree_features.size(); ++fi) {
+        scan_feature(fi, hist);
+      }
+    }
+
+    for (std::size_t fi = 0; fi < tree_features.size(); ++fi) {
+      if (best[fi].bin >= 0 && best[fi].gain > cand.gain + 1e-12) {
+        cand.gain = best[fi].gain;
+        cand.feature = static_cast<int>(tree_features[fi]);
+        cand.bin = best[fi].bin;
       }
     }
   };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 
 namespace memfp::ml {
@@ -53,14 +54,16 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
   int rounds_since_best = 0;
   std::size_t best_tree_count = 0;
 
+  ThreadPool& pool = ThreadPool::global();
   for (int round = 0; round < params_.max_rounds; ++round) {
-    // Logistic-loss gradients, sample-weighted.
-    for (std::size_t r = 0; r < train.size(); ++r) {
+    // Logistic-loss gradients, sample-weighted. Elementwise: each row writes
+    // its own slot, so the parallel result is exact.
+    pool.parallel_for(train.size(), [&](std::size_t r) {
       const double p = sigmoid(score[r]);
       const double w = train.weight[r];
       grad[r] = w * (p - (train.y[r] == 1 ? 1.0 : 0.0));
       hess[r] = w * std::max(p * (1.0 - p), 1e-6);
-    }
+    });
 
     std::vector<std::size_t> rows;
     rows.reserve(fit_rows.size());
@@ -74,9 +77,9 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
     Tree tree = fit_gradient_tree(binned, rows, grad, hess, params_.tree, rng);
     if (tree.leaves() <= 1) break;  // no useful split left
 
-    for (std::size_t r = 0; r < train.size(); ++r) {
+    pool.parallel_for(train.size(), [&](std::size_t r) {
       score[r] += params_.learning_rate * tree.predict(train.x.row(r));
-    }
+    });
     trees_.push_back(std::move(tree));
 
     if (val_count > 0) {

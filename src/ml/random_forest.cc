@@ -1,5 +1,9 @@
 #include "ml/random_forest.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
 namespace memfp::ml {
 
 RandomForest::RandomForest(RandomForestParams params) : params_(params) {}
@@ -9,11 +13,20 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
   const BinnedDataset binned = BinnedDataset::build(train);
   const auto sample_size = static_cast<std::size_t>(
       static_cast<double>(train.size()) * params_.bootstrap_fraction);
-  for (int t = 0; t < params_.trees; ++t) {
-    std::vector<std::size_t> rows(sample_size);
-    for (std::size_t& r : rows) r = rng.uniform_u64(train.size());
-    trees_.push_back(fit_classification_tree(binned, rows, params_.tree, rng));
-  }
+  // One task per tree. Tree t draws its bootstrap and split randomness from
+  // rng.fork(t), a pure function of (rng state, t): every thread count —
+  // including the serial fallback — grows the identical forest.
+  trees_.resize(static_cast<std::size_t>(std::max(0, params_.trees)));
+  ThreadPool::global().parallel_for(
+      trees_.size(),
+      [&](std::size_t t) {
+        Rng tree_rng = rng.fork(static_cast<std::uint64_t>(t));
+        std::vector<std::size_t> rows(sample_size);
+        for (std::size_t& r : rows) r = tree_rng.uniform_u64(train.size());
+        trees_[t] =
+            fit_classification_tree(binned, rows, params_.tree, tree_rng);
+      },
+      /*grain=*/1);
 }
 
 double RandomForest::predict(std::span<const float> features) const {

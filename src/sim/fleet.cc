@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "dram/ecc.h"
 
 namespace memfp::sim {
@@ -183,6 +184,88 @@ dram::ErrorPattern sample_ue_pattern(dram::Platform platform,
   return pattern;
 }
 
+namespace {
+
+/// One planned DIMM: everything decided up-front on the builder thread. The
+/// per-DIMM RNG is forked serially (in the exact order the serial builder
+/// used), so simulating jobs in any order — or concurrently — reproduces the
+/// serial fleet byte for byte.
+struct DimmJob {
+  enum class Kind { kBenign, kEscalator, kSudden };
+  Kind kind = Kind::kBenign;
+  dram::DimmId id = 0;
+  Rng rng{0};
+};
+
+DimmTrace run_dimm_job(const DimmJob& job, const ScenarioParams& params,
+                       const DimmSimulator& simulator,
+                       const dram::Geometry& geometry) {
+  Rng dimm_rng = job.rng;
+  const auto server = static_cast<std::uint32_t>(
+      job.id / 2 % static_cast<std::uint32_t>(params.servers));
+  switch (job.kind) {
+    case DimmJob::Kind::kBenign: {
+      const dram::DimmConfig config = sample_dimm_config(
+          params.platform, dimm_rng, /*degraded_bias=*/false);
+      std::vector<Fault> faults{make_benign_fault(params, dimm_rng)};
+      if (dimm_rng.bernoulli(params.two_fault_probability)) {
+        faults.push_back(make_benign_fault(params, dimm_rng));
+      }
+      DimmTrace trace = simulator.run(job.id, server, config, faults, dimm_rng);
+      trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/false);
+      return trace;
+    }
+    case DimmJob::Kind::kEscalator: {
+      const dram::DimmConfig config = sample_dimm_config(
+          params.platform, dimm_rng, /*degraded_bias=*/true);
+      const bool censored =
+          dimm_rng.bernoulli(params.censored_escalator_fraction);
+      const SimTime t_cross =
+          censored ? params.horizon +
+                         static_cast<SimTime>(dimm_rng.uniform(
+                             static_cast<double>(days(2)),
+                             static_cast<double>(days(45))))
+                   : static_cast<SimTime>(dimm_rng.uniform(
+                         static_cast<double>(days(12)),
+                         static_cast<double>(params.horizon - days(1))));
+      const bool short_prelude =
+          dimm_rng.bernoulli(params.short_prelude_fraction);
+      const double prelude_days =
+          short_prelude ? dimm_rng.uniform(0.25, 2.0)
+                        : std::clamp(dimm_rng.lognormal(std::log(10.0), 0.6),
+                                     2.0, 60.0);
+      std::vector<Fault> faults{
+          make_escalating_fault(params, dimm_rng, t_cross, prelude_days)};
+      if (dimm_rng.bernoulli(0.10)) {
+        faults.push_back(make_benign_fault(params, dimm_rng));
+      }
+      DimmTrace trace = simulator.run(job.id, server, config, faults, dimm_rng);
+      trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/true);
+      return trace;
+    }
+    case DimmJob::Kind::kSudden: {
+      DimmTrace trace;
+      trace.id = job.id;
+      trace.server_id = server;
+      trace.platform = params.platform;
+      trace.config = sample_dimm_config(params.platform, dimm_rng,
+                                        /*degraded_bias=*/true);
+      trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/true);
+      dram::UeEvent ue;
+      ue.time = static_cast<SimTime>(dimm_rng.uniform(
+          static_cast<double>(days(1)), static_cast<double>(params.horizon)));
+      ue.coord = sample_anchor(geometry, dimm_rng);
+      ue.pattern = sample_ue_pattern(params.platform, geometry, dimm_rng);
+      ue.had_prior_ce = false;
+      trace.ue = ue;
+      return trace;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
 FleetTrace simulate_fleet(const ScenarioParams& params,
                           const DimmSimParams& sim_params) {
   Rng rng(params.seed);
@@ -195,84 +278,45 @@ FleetTrace simulate_fleet(const ScenarioParams& params,
   fleet.platform = params.platform;
   fleet.horizon = params.horizon;
 
-  dram::DimmId next_id = 0;
-  const auto next_server = [&](dram::DimmId id) {
-    return static_cast<std::uint32_t>(id / 2 %
-                                      static_cast<std::uint32_t>(params.servers));
-  };
-
-  // Benign CE population.
-  for (int i = 0; i < params.ce_dimms; ++i) {
-    const dram::DimmId id = next_id++;
-    Rng dimm_rng = rng.fork();
-    const dram::DimmConfig config =
-        sample_dimm_config(params.platform, dimm_rng, /*degraded_bias=*/false);
-    std::vector<Fault> faults{make_benign_fault(params, dimm_rng)};
-    if (dimm_rng.bernoulli(params.two_fault_probability)) {
-      faults.push_back(make_benign_fault(params, dimm_rng));
-    }
-    DimmTrace trace =
-        simulator.run(id, next_server(id), config, faults, dimm_rng);
-    trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/false);
-    if (trace.has_ce() || trace.has_ue()) fleet.dimms.push_back(std::move(trace));
-  }
-
-  // Degrading population: escalators that cross within the horizon, plus a
-  // censored tail that crosses after it (they look risky but never fail —
-  // the honest negatives that make the prediction task hard).
+  // Plan the population serially: ids and RNG forks happen in the same order
+  // the serial builder used, so the jobs are scheduling-independent.
+  std::vector<DimmJob> jobs;
   const int total_escalators = static_cast<int>(std::lround(
       params.predictable_ue_dimms /
       std::max(1e-6, 1.0 - params.censored_escalator_fraction)));
-  for (int i = 0; i < total_escalators; ++i) {
-    const dram::DimmId id = next_id++;
-    Rng dimm_rng = rng.fork();
-    const dram::DimmConfig config =
-        sample_dimm_config(params.platform, dimm_rng, /*degraded_bias=*/true);
-    const bool censored = dimm_rng.bernoulli(params.censored_escalator_fraction);
-    const SimTime t_cross =
-        censored ? params.horizon +
-                       static_cast<SimTime>(dimm_rng.uniform(
-                           static_cast<double>(days(2)),
-                           static_cast<double>(days(45))))
-                 : static_cast<SimTime>(dimm_rng.uniform(
-                       static_cast<double>(days(12)),
-                       static_cast<double>(params.horizon - days(1))));
-    const bool short_prelude =
-        dimm_rng.bernoulli(params.short_prelude_fraction);
-    const double prelude_days =
-        short_prelude ? dimm_rng.uniform(0.25, 2.0)
-                      : std::clamp(dimm_rng.lognormal(std::log(10.0), 0.6),
-                                   2.0, 60.0);
-    std::vector<Fault> faults{
-        make_escalating_fault(params, dimm_rng, t_cross, prelude_days)};
-    if (dimm_rng.bernoulli(0.10)) {
-      faults.push_back(make_benign_fault(params, dimm_rng));
-    }
-    DimmTrace trace =
-        simulator.run(id, next_server(id), config, faults, dimm_rng);
-    trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/true);
-    if (trace.has_ce() || trace.has_ue()) fleet.dimms.push_back(std::move(trace));
+  jobs.reserve(static_cast<std::size_t>(
+      std::max(0, params.ce_dimms) + std::max(0, total_escalators) +
+      std::max(0, params.sudden_ue_dimms)));
+  dram::DimmId next_id = 0;
+  for (int i = 0; i < params.ce_dimms; ++i) {
+    jobs.push_back({DimmJob::Kind::kBenign, next_id++, rng.fork()});
   }
-
+  // Degrading population: escalators that cross within the horizon, plus a
+  // censored tail that crosses after it (they look risky but never fail —
+  // the honest negatives that make the prediction task hard).
+  for (int i = 0; i < total_escalators; ++i) {
+    jobs.push_back({DimmJob::Kind::kEscalator, next_id++, rng.fork()});
+  }
   // Sudden UEs: component failures with no CE warning (paper Section II-A).
   for (int i = 0; i < params.sudden_ue_dimms; ++i) {
-    const dram::DimmId id = next_id++;
-    Rng dimm_rng = rng.fork();
-    DimmTrace trace;
-    trace.id = id;
-    trace.server_id = next_server(id);
-    trace.platform = params.platform;
-    trace.config =
-        sample_dimm_config(params.platform, dimm_rng, /*degraded_bias=*/true);
-    trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/true);
-    dram::UeEvent ue;
-    ue.time = static_cast<SimTime>(dimm_rng.uniform(
-        static_cast<double>(days(1)), static_cast<double>(params.horizon)));
-    ue.coord = sample_anchor(geometry, dimm_rng);
-    ue.pattern = sample_ue_pattern(params.platform, geometry, dimm_rng);
-    ue.had_prior_ce = false;
-    trace.ue = ue;
-    fleet.dimms.push_back(std::move(trace));
+    jobs.push_back({DimmJob::Kind::kSudden, next_id++, rng.fork()});
+  }
+
+  // Simulate every DIMM into its own slot (one task per DIMM), then merge in
+  // id order so the trace layout matches the serial path exactly.
+  std::vector<DimmTrace> traces(jobs.size());
+  ThreadPool::global().parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        traces[i] = run_dimm_job(jobs[i], params, simulator, geometry);
+      },
+      /*grain=*/1);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    // Only observed DIMMs enter the dataset; sudden UEs always count.
+    if (jobs[i].kind == DimmJob::Kind::kSudden || traces[i].has_ce() ||
+        traces[i].has_ue()) {
+      fleet.dimms.push_back(std::move(traces[i]));
+    }
   }
 
   MEMFP_INFO << "simulated fleet " << dram::platform_name(params.platform)
