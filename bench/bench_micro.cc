@@ -110,8 +110,19 @@ ml::Dataset bench_dataset(std::size_t rows) {
   return d;
 }
 
+// Row-count scaling of the binned trainers (single-threaded so the numbers
+// isolate the columnar-histogram work, not the pool). tools/run_benches.sh
+// records these into BENCH_train.json as the perf trajectory.
+void row_args(benchmark::internal::Benchmark* bench) {
+  bench->ArgName("rows");
+  bench->Arg(2000);
+  bench->Arg(10000);
+  bench->Arg(50000);
+}
+
 void BM_GbdtTrain(benchmark::State& state) {
-  const ml::Dataset d = bench_dataset(2000);
+  ThreadPool::ScopedLimit cap(1);
+  const ml::Dataset d = bench_dataset(static_cast<std::size_t>(state.range(0)));
   ml::GbdtParams params;
   params.max_rounds = 30;
   params.early_stopping_rounds = 0;
@@ -122,7 +133,22 @@ void BM_GbdtTrain(benchmark::State& state) {
     benchmark::DoNotOptimize(model.rounds_used());
   }
 }
-BENCHMARK(BM_GbdtTrain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GbdtTrain)->Apply(row_args)->Unit(benchmark::kMillisecond);
+
+void BM_TreeTrain(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(1);
+  const ml::Dataset d = bench_dataset(static_cast<std::size_t>(state.range(0)));
+  const ml::BinnedDataset binned = ml::BinnedDataset::build(d);
+  std::vector<std::size_t> rows(d.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const ml::ClassificationTreeParams params;
+  for (auto _ : state) {
+    Rng rng(9);
+    const ml::Tree tree = ml::fit_classification_tree(binned, rows, params, rng);
+    benchmark::DoNotOptimize(tree.nodes().size());
+  }
+}
+BENCHMARK(BM_TreeTrain)->Apply(row_args)->Unit(benchmark::kMillisecond);
 
 void BM_GbdtPredict(benchmark::State& state) {
   const ml::Dataset d = bench_dataset(2000);

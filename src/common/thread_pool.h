@@ -91,6 +91,24 @@ class ThreadPool {
     });
   }
 
+  /// Chunk-granular variant of `parallel_for`: calls body(begin, end) once
+  /// per chunk instead of once per index. Chunk boundaries depend only on
+  /// (n, grain), so index->chunk assignment is identical for every thread
+  /// count; callers use this to reuse a scratch buffer across all indices of
+  /// a chunk instead of allocating per index (e.g. the per-feature column
+  /// gather in BinMapper).
+  template <typename Body>
+  void parallel_for_chunks(std::size_t n, Body&& body, std::size_t grain = 0) {
+    if (n == 0) return;
+    const std::size_t g = grain > 0 ? grain : default_grain(n);
+    const std::size_t chunks = (n + g - 1) / g;
+    run_chunked(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * g;
+      const std::size_t end = begin + g < n ? begin + g : n;
+      body(begin, end);
+    });
+  }
+
   /// Ordered map-reduce: map(begin, end) produces one partial per chunk and
   /// the partials are folded as acc = reduce(acc, partial) in ascending
   /// chunk order on the calling thread. Because chunking depends only on

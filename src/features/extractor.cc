@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -340,12 +341,14 @@ std::vector<float> FeatureExtractor::features_at(const sim::DimmTrace& trace,
   truncated.platform = trace.platform;
   truncated.config = trace.config;
   truncated.workload = trace.workload;
-  for (const dram::CeEvent& ce : trace.ces) {
-    if (ce.time <= t) truncated.ces.push_back(ce);
-  }
-  for (const dram::MemEvent& event : trace.events) {
-    if (event.time <= t) truncated.events.push_back(event);
-  }
+  truncated.ces.reserve(trace.ces.size());
+  std::copy_if(trace.ces.begin(), trace.ces.end(),
+               std::back_inserter(truncated.ces),
+               [&](const dram::CeEvent& ce) { return ce.time <= t; });
+  truncated.events.reserve(trace.events.size());
+  std::copy_if(trace.events.begin(), trace.events.end(),
+               std::back_inserter(truncated.events),
+               [&](const dram::MemEvent& event) { return event.time <= t; });
 
   PredictionWindows point = windows_;
   point.cadence = std::max<SimDuration>(t, 1);

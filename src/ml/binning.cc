@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <set>
 
 #include "common/thread_pool.h"
 
@@ -13,44 +12,49 @@ BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
   BinMapper mapper;
   const std::size_t features = dataset.x.cols();
   mapper.thresholds_.resize(features);
-  const std::set<std::size_t> categorical(dataset.categorical.begin(),
-                                          dataset.categorical.end());
+  // Sorted copy so the membership test below is a binary search.
+  std::vector<std::size_t> categorical(dataset.categorical);
+  std::sort(categorical.begin(), categorical.end());
 
   // Features bin independently; each writes its own thresholds_ slot, so the
-  // result is identical for any thread count.
-  ThreadPool::global().parallel_for(features, [&](std::size_t f) {
-    std::vector<float> column;
-    column.reserve(dataset.x.rows());
-    for (std::size_t r = 0; r < dataset.x.rows(); ++r) {
-      column.push_back(dataset.x.at(r, f));
-    }
-    std::sort(column.begin(), column.end());
-    column.erase(std::unique(column.begin(), column.end()), column.end());
+  // result is identical for any thread count. Chunk-granular dispatch lets
+  // one gather scratch serve every feature of a chunk.
+  ThreadPool::global().parallel_for_chunks(
+      features, [&](std::size_t begin, std::size_t end) {
+        std::vector<float> column;
+        for (std::size_t f = begin; f < end; ++f) {
+          dataset.x.gather_column(f, column);
+          std::sort(column.begin(), column.end());
+          column.erase(std::unique(column.begin(), column.end()),
+                       column.end());
 
-    std::vector<float>& thresholds = mapper.thresholds_[f];
-    if (column.size() <= 1) return;  // constant feature: single bin
+          std::vector<float>& thresholds = mapper.thresholds_[f];
+          if (column.size() <= 1) continue;  // constant feature: single bin
 
-    if (categorical.count(f) ||
-        static_cast<int>(column.size()) <= max_bins) {
-      // One bin per distinct value; thresholds halfway between neighbours.
-      for (std::size_t i = 0; i + 1 < column.size(); ++i) {
-        thresholds.push_back((column[i] + column[i + 1]) * 0.5f);
-      }
-      return;
-    }
-    // Quantile thresholds over distinct values.
-    for (int b = 1; b < max_bins; ++b) {
-      const double pos = static_cast<double>(b) *
-                         static_cast<double>(column.size() - 1) /
-                         static_cast<double>(max_bins);
-      const auto lo = static_cast<std::size_t>(pos);
-      const float threshold =
-          (column[lo] + column[std::min(lo + 1, column.size() - 1)]) * 0.5f;
-      if (thresholds.empty() || threshold > thresholds.back()) {
-        thresholds.push_back(threshold);
-      }
-    }
-  });
+          if (std::binary_search(categorical.begin(), categorical.end(), f) ||
+              static_cast<int>(column.size()) <= max_bins) {
+            // One bin per distinct value; thresholds halfway between
+            // neighbours.
+            for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+              thresholds.push_back((column[i] + column[i + 1]) * 0.5f);
+            }
+            continue;
+          }
+          // Quantile thresholds over distinct values.
+          for (int b = 1; b < max_bins; ++b) {
+            const double pos = static_cast<double>(b) *
+                               static_cast<double>(column.size() - 1) /
+                               static_cast<double>(max_bins);
+            const auto lo = static_cast<std::size_t>(pos);
+            const float threshold =
+                (column[lo] + column[std::min(lo + 1, column.size() - 1)]) *
+                0.5f;
+            if (thresholds.empty() || threshold > thresholds.back()) {
+              thresholds.push_back(threshold);
+            }
+          }
+        }
+      });
   return mapper;
 }
 
@@ -70,13 +74,20 @@ float BinMapper::threshold(std::size_t feature, int bin) const {
 }
 
 std::vector<std::uint8_t> BinMapper::transform(const Matrix& x) const {
+  // Feature-major output: column f occupies [f * rows, (f + 1) * rows), so
+  // a histogram build streams one contiguous uint8 run per feature.
   std::vector<std::uint8_t> binned(x.rows() * x.cols());
-  // Row-sliced across the pool; each row writes only its own codes.
-  ThreadPool::global().parallel_for(x.rows(), [&](std::size_t r) {
-    for (std::size_t f = 0; f < x.cols(); ++f) {
-      binned[r * x.cols() + f] = bin(f, x.at(r, f));
-    }
-  });
+  ThreadPool::global().parallel_for_chunks(
+      x.cols(), [&](std::size_t begin, std::size_t end) {
+        std::vector<float> column;
+        for (std::size_t f = begin; f < end; ++f) {
+          x.gather_column(f, column);
+          std::uint8_t* codes = binned.data() + f * x.rows();
+          for (std::size_t r = 0; r < x.rows(); ++r) {
+            codes[r] = bin(f, column[r]);
+          }
+        }
+      });
   return binned;
 }
 

@@ -29,7 +29,8 @@ class BinMapper {
   /// raw split value to compare with `<=`.
   float threshold(std::size_t feature, int bin) const;
 
-  /// Bins a whole matrix (row-major uint8, same shape).
+  /// Bins a whole matrix into feature-major uint8 codes: column f occupies
+  /// [f * rows, (f + 1) * rows) of the result.
   std::vector<std::uint8_t> transform(const Matrix& x) const;
 
  private:

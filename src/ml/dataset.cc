@@ -13,6 +13,12 @@ void Matrix::push_row(std::span<const float> values) {
   ++rows_;
 }
 
+void Matrix::gather_column(std::size_t c, std::vector<float>& out) const {
+  out.resize(rows_);
+  const float* base = data_.data() + c;
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = base[r * cols_];
+}
+
 std::size_t Dataset::positives() const {
   std::size_t count = 0;
   for (int label : y) count += label == 1;

@@ -32,6 +32,11 @@ class Matrix {
   }
   void push_row(std::span<const float> values);
 
+  /// Gathers column `c` into `out` (resized to rows()). The row-major
+  /// stride is paid once per feature here instead of once per element in
+  /// the feature-binning loops.
+  void gather_column(std::size_t c, std::vector<float>& out) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

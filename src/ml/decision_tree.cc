@@ -13,8 +13,23 @@ namespace memfp::ml {
 BinnedDataset BinnedDataset::build(const Dataset& dataset, int max_bins) {
   BinnedDataset binned;
   binned.dataset = &dataset;
+  binned.rows = dataset.x.rows();
   binned.mapper = BinMapper::fit(dataset, max_bins);
   binned.codes = binned.mapper.transform(dataset.x);
+
+  const std::size_t features = dataset.x.cols();
+  binned.bin_offset.resize(features + 1, 0);
+  for (std::size_t f = 0; f < features; ++f) {
+    binned.bin_offset[f + 1] =
+        binned.bin_offset[f] + static_cast<std::uint32_t>(binned.mapper.bins(f));
+  }
+
+  binned.weight_pairs.resize(2 * binned.rows);
+  for (std::size_t r = 0; r < binned.rows; ++r) {
+    const double w = dataset.weight[r];
+    binned.weight_pairs[2 * r] = w;
+    binned.weight_pairs[2 * r + 1] = dataset.y[r] == 1 ? w : 0.0;
+  }
   return binned;
 }
 
@@ -68,17 +83,76 @@ Tree Tree::from_json(const Json& json) {
 
 namespace {
 
-/// Histogram of one feature over a node's rows.
-struct FeatureHistogram {
-  // Classification: sum of weights / positive weights per bin.
-  // Gradient: sum of grad / hess per bin (aliased onto the same arrays).
-  std::vector<double> a;  // weight total or grad
-  std::vector<double> b;  // positive weight or hess
+/// Reusable flat node histograms recycled across the nodes of one tree, so
+/// deep trees allocate O(depth) buffers instead of O(nodes). A buffer holds
+/// 2 * slots doubles of interleaved (a, b) pairs — (grad, hess) for the
+/// gradient trainer, (weight, positive weight) for the classification
+/// trainer — with feature f's bins at [2 * offset[f], 2 * offset[f + 1]).
+class HistogramPool {
+ public:
+  explicit HistogramPool(std::size_t slots) : slots_(slots) {}
 
-  void reset(int bins) {
-    a.assign(static_cast<std::size_t>(bins), 0.0);
-    b.assign(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> acquire() {
+    if (free_.empty()) return std::vector<double>(2 * slots_, 0.0);
+    std::vector<double> buffer = std::move(free_.back());
+    free_.pop_back();
+    std::fill(buffer.begin(), buffer.end(), 0.0);
+    return buffer;
   }
+
+  void release(std::vector<double>&& buffer) {
+    if (buffer.size() == 2 * slots_) free_.push_back(std::move(buffer));
+  }
+
+ private:
+  std::size_t slots_;
+  std::vector<std::vector<double>> free_;
+};
+
+/// Single index arena for in-place node partitioning: a node owns the
+/// contiguous slice [begin, end) and a split stable-partitions it, so row
+/// order within each child matches the order the old per-node row vectors
+/// were filled in (the accumulation-order part of the determinism
+/// contract). One scratch buffer serves every split of the tree.
+class RowArena {
+ public:
+  explicit RowArena(std::span<const std::size_t> rows) {
+    assert(rows.size() < std::numeric_limits<std::uint32_t>::max());
+    rows_.reserve(rows.size());
+    for (std::size_t r : rows) rows_.push_back(static_cast<std::uint32_t>(r));
+  }
+
+  std::size_t size() const { return rows_.size(); }
+  std::span<const std::uint32_t> slice(std::size_t begin,
+                                       std::size_t end) const {
+    return {rows_.data() + begin, end - begin};
+  }
+
+  /// Stable partition of [begin, end) by code <= bin; returns the boundary.
+  std::size_t partition(std::size_t begin, std::size_t end,
+                        const std::uint8_t* codes, std::uint8_t bin) {
+    scratch_.clear();
+    std::size_t write = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t r = rows_[i];
+      if (codes[r] <= bin) {
+        rows_[write++] = r;
+      } else {
+        scratch_.push_back(r);
+      }
+    }
+    std::copy(scratch_.begin(), scratch_.end(), rows_.begin() + write);
+    return write;
+  }
+
+ private:
+  std::vector<std::uint32_t> rows_;
+  std::vector<std::uint32_t> scratch_;
+};
+
+struct FeatureBest {
+  double gain = 0.0;
+  int bin = -1;
 };
 
 double gini_impurity(double pos, double total) {
@@ -106,73 +180,104 @@ std::vector<std::size_t> sample_features(std::size_t count, double fraction,
 }  // namespace
 
 Tree fit_classification_tree(const BinnedDataset& data,
-                             const std::vector<std::size_t>& rows,
+                             std::span<const std::size_t> rows,
                              const ClassificationTreeParams& params,
                              Rng& rng) {
-  const Dataset& dataset = *data.dataset;
-  const std::size_t features = dataset.x.cols();
+  const std::size_t features = data.dataset->x.cols();
+  const std::vector<std::uint32_t>& offset = data.bin_offset;
+  const double* wp = data.weight_pairs.data();
   Tree tree;
   auto& nodes = tree.mutable_nodes();
 
+  RowArena arena(rows);
+  HistogramPool hist_pool(data.total_bins());
+
   struct Work {
-    int node;
-    std::vector<std::size_t> rows;
-    int depth;
+    int node = 0;
+    std::size_t begin = 0, end = 0;
+    int depth = 0;
+    double pos = 0.0, total = 0.0;
+    bool live = false;             // passed the pre-split checks
+    std::vector<double> hist;      // all-feature histogram; empty if !live
   };
 
-  const auto leaf_value = [&](const std::vector<std::size_t>& node_rows) {
-    double pos = 0.0, total = 0.0;
-    for (std::size_t r : node_rows) {
-      total += dataset.weight[r];
-      if (dataset.y[r] == 1) pos += dataset.weight[r];
+  // Weighted class stats of a slice, summed in row order (bitwise-stable:
+  // adding the 0.0 stored for negative rows leaves the positive sum's bits
+  // unchanged).
+  const auto stats = [&](Work& work) {
+    work.pos = 0.0;
+    work.total = 0.0;
+    for (std::uint32_t r : arena.slice(work.begin, work.end)) {
+      work.total += wp[2 * r];
+      work.pos += wp[2 * r + 1];
     }
-    return total > 0.0 ? pos / total : 0.0;
+  };
+  const auto check_live = [&](const Work& work) {
+    const bool pure =
+        work.pos <= 1e-12 || work.pos >= work.total - 1e-12;
+    return work.depth < params.max_depth && !pure &&
+           work.total >= 2.0 * params.min_samples_leaf;
+  };
+  // Direct histogram: stream each feature column over the node's rows.
+  const auto build_hist = [&](Work& work) {
+    work.hist = hist_pool.acquire();
+    const auto slice = arena.slice(work.begin, work.end);
+    for (std::size_t f = 0; f < features; ++f) {
+      double* hist = work.hist.data() + 2 * offset[f];
+      const std::uint8_t* codes = data.feature_codes(f);
+      for (std::uint32_t r : slice) {
+        const std::size_t code = codes[r];
+        hist[2 * code] += wp[2 * r];
+        hist[2 * code + 1] += wp[2 * r + 1];
+      }
+    }
+  };
+  const auto subtract_hist = [&](Work& work, const std::vector<double>& parent,
+                                 const std::vector<double>& sibling) {
+    work.hist = hist_pool.acquire();
+    for (std::size_t i = 0; i < work.hist.size(); ++i) {
+      work.hist[i] = parent[i] - sibling[i];
+    }
   };
 
   nodes.push_back({});
   std::vector<Work> stack;
-  stack.push_back({0, rows, 0});
+  {
+    Work root{0, 0, arena.size(), 0};
+    stats(root);
+    root.live = check_live(root);
+    if (root.live) build_hist(root);
+    stack.push_back(std::move(root));
+  }
 
-  FeatureHistogram hist;
   while (!stack.empty()) {
     Work work = std::move(stack.back());
     stack.pop_back();
-    TreeNode& node = nodes[static_cast<std::size_t>(work.node)];
 
-    double pos = 0.0, total = 0.0;
-    for (std::size_t r : work.rows) {
-      total += dataset.weight[r];
-      if (dataset.y[r] == 1) pos += dataset.weight[r];
-    }
-    const bool pure = pos <= 1e-12 || pos >= total - 1e-12;
-    if (work.depth >= params.max_depth || pure ||
-        total < 2.0 * params.min_samples_leaf) {
-      node.feature = -1;
-      node.value = total > 0.0 ? pos / total : 0.0;
+    if (!work.live) {
+      nodes[static_cast<std::size_t>(work.node)].feature = -1;
+      nodes[static_cast<std::size_t>(work.node)].value =
+          work.total > 0.0 ? work.pos / work.total : 0.0;
       continue;
     }
 
-    // Best split over a random feature subset.
+    // Best split over a random feature subset, scanned on the node's pooled
+    // histogram.
     double best_gain = 1e-12;
     int best_feature = -1;
     int best_bin = -1;
-    const double parent_impurity = gini_impurity(pos, total);
+    const double parent_impurity = gini_impurity(work.pos, work.total);
     for (std::size_t f : sample_features(features, params.feature_fraction,
                                          rng)) {
       const int bins = data.mapper.bins(f);
       if (bins < 2) continue;
-      hist.reset(bins);
-      for (std::size_t r : work.rows) {
-        const std::uint8_t code = data.code(r, f);
-        hist.a[code] += dataset.weight[r];
-        if (dataset.y[r] == 1) hist.b[code] += dataset.weight[r];
-      }
+      const double* hist = work.hist.data() + 2 * offset[f];
       double left_total = 0.0, left_pos = 0.0;
       for (int b = 0; b + 1 < bins; ++b) {
-        left_total += hist.a[static_cast<std::size_t>(b)];
-        left_pos += hist.b[static_cast<std::size_t>(b)];
-        const double right_total = total - left_total;
-        const double right_pos = pos - left_pos;
+        left_total += hist[2 * b];
+        left_pos += hist[2 * b + 1];
+        const double right_total = work.total - left_total;
+        const double right_pos = work.pos - left_pos;
         if (left_total < params.min_samples_leaf ||
             right_total < params.min_samples_leaf) {
           continue;
@@ -189,21 +294,18 @@ Tree fit_classification_tree(const BinnedDataset& data,
     }
 
     if (best_feature < 0) {
-      node.feature = -1;
-      node.value = leaf_value(work.rows);
+      nodes[static_cast<std::size_t>(work.node)].feature = -1;
+      nodes[static_cast<std::size_t>(work.node)].value =
+          work.total > 0.0 ? work.pos / work.total : 0.0;
+      hist_pool.release(std::move(work.hist));
       continue;
     }
 
-    std::vector<std::size_t> left_rows, right_rows;
-    for (std::size_t r : work.rows) {
-      (data.code(r, static_cast<std::size_t>(best_feature)) <=
-               static_cast<std::uint8_t>(best_bin)
-           ? left_rows
-           : right_rows)
-          .push_back(r);
-    }
-    // Reserve the child slots first: push_back may reallocate and would
-    // invalidate any reference into `nodes`.
+    const std::size_t mid = arena.partition(
+        work.begin, work.end,
+        data.feature_codes(static_cast<std::size_t>(best_feature)),
+        static_cast<std::uint8_t>(best_bin));
+
     const int left_index = static_cast<int>(nodes.size());
     const int right_index = left_index + 1;
     nodes.push_back({});
@@ -214,33 +316,74 @@ Tree fit_classification_tree(const BinnedDataset& data,
         data.mapper.threshold(static_cast<std::size_t>(best_feature), best_bin);
     parent.left = left_index;
     parent.right = right_index;
-    stack.push_back({left_index, std::move(left_rows), work.depth + 1});
-    stack.push_back({right_index, std::move(right_rows), work.depth + 1});
+
+    Work left{left_index, work.begin, mid, work.depth + 1};
+    Work right{right_index, mid, work.end, work.depth + 1};
+    stats(left);
+    stats(right);
+    left.live = check_live(left);
+    right.live = check_live(right);
+
+    // Histogram subtraction: build the smaller child directly, derive the
+    // sibling as parent - child.
+    Work& small = (left.end - left.begin) <= (right.end - right.begin)
+                      ? left
+                      : right;
+    Work& large = &small == &left ? right : left;
+    if (large.live) {
+      build_hist(small);
+      subtract_hist(large, work.hist, small.hist);
+      if (!small.live) hist_pool.release(std::move(small.hist));
+    } else if (small.live) {
+      build_hist(small);
+    }
+    hist_pool.release(std::move(work.hist));
+
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
   }
   return tree;
 }
 
 Tree fit_gradient_tree(const BinnedDataset& data,
-                       const std::vector<std::size_t>& rows,
+                       std::span<const std::size_t> rows,
                        std::span<const double> grad,
                        std::span<const double> hess,
                        const GradientTreeParams& params, Rng& rng) {
-  const Dataset& dataset = *data.dataset;
-  const std::size_t features = dataset.x.cols();
+  const std::size_t features = data.dataset->x.cols();
   const std::vector<std::size_t> tree_features =
       sample_features(features, params.feature_fraction, rng);
 
+  // Per-tree histogram offsets over the sampled features only.
+  std::vector<std::uint32_t> offset(tree_features.size() + 1, 0);
+  for (std::size_t fi = 0; fi < tree_features.size(); ++fi) {
+    offset[fi + 1] = offset[fi] +
+                     static_cast<std::uint32_t>(
+                         data.mapper.bins(tree_features[fi]));
+  }
+
+  // Row-indexed (grad, hess) pairs: the per-row gather of a histogram build
+  // touches one cache line instead of two arrays.
+  std::vector<double> gh(2 * data.rows);
+  ThreadPool::global().parallel_for(data.rows, [&](std::size_t r) {
+    gh[2 * r] = grad[r];
+    gh[2 * r + 1] = hess[r];
+  });
+
   Tree tree;
   auto& nodes = tree.mutable_nodes();
+  RowArena arena(rows);
+  HistogramPool hist_pool(offset.back());
 
-  struct Candidate {
-    int node;
-    std::vector<std::size_t> rows;
-    int depth;
-    double gain;          // best achievable split gain
+  struct NodeData {
+    int node = 0;
+    std::size_t begin = 0, end = 0;
+    int depth = 0;
+    double gain = 0.0;
     int feature = -1;
     int bin = -1;
     double g = 0.0, h = 0.0;
+    std::vector<double> hist;  // retained until the node is split or leafed
   };
 
   const auto leaf_score = [&](double g, double h) {
@@ -249,54 +392,63 @@ Tree fit_gradient_tree(const BinnedDataset& data,
   const auto node_objective = [&](double g, double h) {
     return g * g / (h + params.lambda);
   };
-
-  // Finds the best split for a candidate; fills feature/bin/gain. The
-  // per-feature histograms are independent, so they are built across feature
-  // columns by the thread pool when the node is large enough to amortize the
-  // dispatch; the winning (feature, bin) is then folded in ascending
-  // tree_features order, making the chosen split a pure function of the
-  // node — identical for every thread count.
-  const auto evaluate = [&](Candidate& cand) {
-    cand.g = 0.0;
-    cand.h = 0.0;
-    for (std::size_t r : cand.rows) {
-      cand.g += grad[r];
-      cand.h += hess[r];
+  const auto node_stats = [&](NodeData& nd) {
+    nd.g = 0.0;
+    nd.h = 0.0;
+    for (std::uint32_t r : arena.slice(nd.begin, nd.end)) {
+      nd.g += gh[2 * r];
+      nd.h += gh[2 * r + 1];
     }
-    cand.gain = 0.0;
-    cand.feature = -1;
-    if (cand.depth >= params.max_depth ||
-        cand.h < 2.0 * params.min_child_hessian) {
-      return;
-    }
-    const double parent = node_objective(cand.g, cand.h);
+  };
+  const auto terminal = [&](const NodeData& nd) {
+    return nd.depth >= params.max_depth ||
+           nd.h < 2.0 * params.min_child_hessian;
+  };
 
-    struct FeatureBest {
-      double gain = 0.0;
-      int bin = -1;
-    };
+  // Builds nd's histogram — directly from its rows, or (when parent and
+  // sibling are given) as parent - sibling — then scans every sampled
+  // feature for the best split. The per-feature slices are independent, so
+  // they are filled across the thread pool when the node is large enough to
+  // amortize the dispatch; the winning (feature, bin) is then folded in
+  // ascending tree_features order, making the chosen split a pure function
+  // of the node — identical for every thread count.
+  const auto build_and_scan = [&](NodeData& nd,
+                                  const std::vector<double>* parent,
+                                  const std::vector<double>* sibling,
+                                  bool scan) {
+    nd.hist = hist_pool.acquire();
+    const auto slice = arena.slice(nd.begin, nd.end);
+    const double parent_obj = node_objective(nd.g, nd.h);
     std::vector<FeatureBest> best(tree_features.size());
-    const auto scan_feature = [&](std::size_t fi, FeatureHistogram& hist) {
-      const std::size_t f = tree_features[fi];
-      const int bins = data.mapper.bins(f);
-      if (bins < 2) return;
-      hist.reset(bins);
-      for (std::size_t r : cand.rows) {
-        const std::uint8_t code = data.code(r, f);
-        hist.a[code] += grad[r];
-        hist.b[code] += hess[r];
+
+    const auto per_feature = [&](std::size_t fi) {
+      double* hist = nd.hist.data() + 2 * offset[fi];
+      if (parent != nullptr) {
+        const double* p = parent->data() + 2 * offset[fi];
+        const double* s = sibling->data() + 2 * offset[fi];
+        const std::size_t width = 2 * (offset[fi + 1] - offset[fi]);
+        for (std::size_t i = 0; i < width; ++i) hist[i] = p[i] - s[i];
+      } else {
+        const std::uint8_t* codes = data.feature_codes(tree_features[fi]);
+        for (std::uint32_t r : slice) {
+          const std::size_t code = codes[r];
+          hist[2 * code] += gh[2 * r];
+          hist[2 * code + 1] += gh[2 * r + 1];
+        }
       }
+      const int bins = data.mapper.bins(tree_features[fi]);
+      if (!scan || bins < 2) return;
       double gl = 0.0, hl = 0.0;
       for (int b = 0; b + 1 < bins; ++b) {
-        gl += hist.a[static_cast<std::size_t>(b)];
-        hl += hist.b[static_cast<std::size_t>(b)];
-        const double gr = cand.g - gl;
-        const double hr = cand.h - hl;
+        gl += hist[2 * b];
+        hl += hist[2 * b + 1];
+        const double gr = nd.g - gl;
+        const double hr = nd.h - hl;
         if (hl < params.min_child_hessian || hr < params.min_child_hessian) {
           continue;
         }
         const double gain =
-            node_objective(gl, hl) + node_objective(gr, hr) - parent;
+            node_objective(gl, hl) + node_objective(gr, hr) - parent_obj;
         if (gain > best[fi].gain + 1e-12) {
           best[fi].gain = gain;
           best[fi].bin = b;
@@ -304,65 +456,74 @@ Tree fit_gradient_tree(const BinnedDataset& data,
       }
     };
 
-    // Histogram build cost ~ rows x features; below the cutoff the serial
-    // loop beats the dispatch overhead.
+    // Histogram cost ~ rows x features; below the cutoff the serial loop
+    // beats the dispatch overhead.
     const bool parallel =
         tree_features.size() >= 2 &&
-        cand.rows.size() * tree_features.size() >= 16384;
+        slice.size() * tree_features.size() >= 16384;
     if (parallel) {
-      ThreadPool::global().parallel_for(
-          tree_features.size(),
-          [&](std::size_t fi) {
-            FeatureHistogram hist;
-            scan_feature(fi, hist);
-          },
-          /*grain=*/1);
+      ThreadPool::global().parallel_for(tree_features.size(), per_feature,
+                                        /*grain=*/1);
     } else {
-      FeatureHistogram hist;
       for (std::size_t fi = 0; fi < tree_features.size(); ++fi) {
-        scan_feature(fi, hist);
+        per_feature(fi);
       }
     }
 
+    nd.gain = 0.0;
+    nd.feature = -1;
     for (std::size_t fi = 0; fi < tree_features.size(); ++fi) {
-      if (best[fi].bin >= 0 && best[fi].gain > cand.gain + 1e-12) {
-        cand.gain = best[fi].gain;
-        cand.feature = static_cast<int>(tree_features[fi]);
-        cand.bin = best[fi].bin;
+      if (best[fi].bin >= 0 && best[fi].gain > nd.gain + 1e-12) {
+        nd.gain = best[fi].gain;
+        nd.feature = static_cast<int>(tree_features[fi]);
+        nd.bin = best[fi].bin;
       }
     }
   };
 
   nodes.push_back({});
-  Candidate root{0, rows, 0, 0.0};
-  evaluate(root);
+  // Frontier candidates live in `store`; the priority queue holds (gain,
+  // slot) pairs compared on gain exactly as the old Candidate queue was, so
+  // the pop order — ties included — is unchanged.
+  std::vector<NodeData> store;
+  store.reserve(static_cast<std::size_t>(std::max(2 * params.max_leaves, 2)));
+  {
+    NodeData root{0, 0, arena.size(), 0};
+    node_stats(root);
+    if (!terminal(root)) build_and_scan(root, nullptr, nullptr, /*scan=*/true);
+    store.push_back(std::move(root));
+  }
 
-  // Leaf-wise growth: repeatedly split the frontier leaf with highest gain.
-  auto by_gain = [](const Candidate& a, const Candidate& b) {
+  struct QEntry {
+    double gain;
+    std::size_t slot;
+  };
+  auto by_gain = [](const QEntry& a, const QEntry& b) {
     return a.gain < b.gain;
   };
-  std::priority_queue<Candidate, std::vector<Candidate>, decltype(by_gain)>
+  std::priority_queue<QEntry, std::vector<QEntry>, decltype(by_gain)>
       frontier(by_gain);
-  frontier.push(std::move(root));
+  frontier.push({store[0].gain, 0});
   int leaves = 1;
 
+  // Leaf-wise growth: repeatedly split the frontier leaf with highest gain.
   while (!frontier.empty() && leaves < params.max_leaves) {
-    Candidate cand = frontier.top();
+    const QEntry top = frontier.top();
     frontier.pop();
+    NodeData cand = std::move(store[top.slot]);
     if (cand.feature < 0 || cand.gain <= 1e-12) {
       nodes[static_cast<std::size_t>(cand.node)].feature = -1;
       nodes[static_cast<std::size_t>(cand.node)].value =
           leaf_score(cand.g, cand.h);
+      hist_pool.release(std::move(cand.hist));
       continue;
     }
-    std::vector<std::size_t> left_rows, right_rows;
-    for (std::size_t r : cand.rows) {
-      (data.code(r, static_cast<std::size_t>(cand.feature)) <=
-               static_cast<std::uint8_t>(cand.bin)
-           ? left_rows
-           : right_rows)
-          .push_back(r);
-    }
+
+    const std::size_t mid = arena.partition(
+        cand.begin, cand.end,
+        data.feature_codes(static_cast<std::size_t>(cand.feature)),
+        static_cast<std::uint8_t>(cand.bin));
+
     const int left_index = static_cast<int>(nodes.size());
     const int right_index = left_index + 1;
     nodes.push_back({});
@@ -375,17 +536,38 @@ Tree fit_gradient_tree(const BinnedDataset& data,
     node.right = right_index;
     ++leaves;  // one leaf became two
 
-    Candidate left{left_index, std::move(left_rows), cand.depth + 1, 0.0};
-    Candidate right{right_index, std::move(right_rows), cand.depth + 1, 0.0};
-    evaluate(left);
-    evaluate(right);
-    frontier.push(std::move(left));
-    frontier.push(std::move(right));
+    NodeData left{left_index, cand.begin, mid, cand.depth + 1};
+    NodeData right{right_index, mid, cand.end, cand.depth + 1};
+    node_stats(left);
+    node_stats(right);
+    const bool left_live = !terminal(left);
+    const bool right_live = !terminal(right);
+
+    // Histogram subtraction: build only the smaller child, derive the
+    // sibling as parent - child.
+    NodeData& small =
+        (left.end - left.begin) <= (right.end - right.begin) ? left : right;
+    NodeData& large = &small == &left ? right : left;
+    const bool small_live = &small == &left ? left_live : right_live;
+    const bool large_live = &small == &left ? right_live : left_live;
+    if (large_live) {
+      build_and_scan(small, nullptr, nullptr, small_live);
+      build_and_scan(large, &cand.hist, &small.hist, /*scan=*/true);
+      if (!small_live) hist_pool.release(std::move(small.hist));
+    } else if (small_live) {
+      build_and_scan(small, nullptr, nullptr, /*scan=*/true);
+    }
+    hist_pool.release(std::move(cand.hist));
+
+    store.push_back(std::move(left));
+    frontier.push({store.back().gain, store.size() - 1});
+    store.push_back(std::move(right));
+    frontier.push({store.back().gain, store.size() - 1});
   }
 
   // Finalize any unexpanded frontier leaves.
   while (!frontier.empty()) {
-    const Candidate& cand = frontier.top();
+    NodeData& cand = store[frontier.top().slot];
     nodes[static_cast<std::size_t>(cand.node)].feature = -1;
     nodes[static_cast<std::size_t>(cand.node)].value =
         leaf_score(cand.g, cand.h);

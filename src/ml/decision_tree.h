@@ -7,8 +7,18 @@
 //    (leaf-wise, best-gain-first growth, as LightGBM grows its trees).
 //
 // Both search splits over pre-binned uint8 feature codes, so a split scan
-// is O(rows + bins) per feature. Inference walks raw float thresholds, so a
-// fitted tree needs no bin mapper.
+// is O(rows + bins) per feature. Training is built around three coupled
+// layout optimizations (see DESIGN.md "Binned training memory layout"):
+//  - feature-major bin codes: one contiguous uint8 column per feature, so a
+//    histogram build streams sequentially instead of striding rows x cols;
+//  - histogram subtraction: a split builds the histogram of the smaller
+//    child only and derives the sibling as parent - child, roughly halving
+//    histogram work (the signature LightGBM trick);
+//  - in-place row partitioning: a node is a contiguous [begin, end) slice
+//    of one reusable index arena, stable-partitioned at each split, so deep
+//    trees allocate no per-node row vectors.
+// Inference walks raw float thresholds, so a fitted tree needs no bin
+// mapper.
 #pragma once
 
 #include <cstdint>
@@ -23,15 +33,30 @@
 namespace memfp::ml {
 
 /// Pre-binned view of a dataset shared by all trees in an ensemble.
+///
+/// Codes are feature-major (one contiguous uint8 column per feature) and
+/// the (weight, weight-if-positive) pair of every row is pre-bundled into a
+/// row-indexed SoA so the per-row gather of the classification trainer
+/// touches a single cache line per row.
 struct BinnedDataset {
   const Dataset* dataset = nullptr;
   BinMapper mapper;
-  std::vector<std::uint8_t> codes;  // rows x cols, row-major
+  std::vector<std::uint8_t> codes;  // cols x rows, feature-major
+  std::size_t rows = 0;
+  /// Prefix sum of mapper.bins(f): feature f's histogram slice covers bins
+  /// [bin_offset[f], bin_offset[f + 1]) of a pooled node histogram.
+  std::vector<std::uint32_t> bin_offset;
+  /// Interleaved {weight, weight if y == 1 else 0} per row (2 * rows).
+  std::vector<double> weight_pairs;
 
   static BinnedDataset build(const Dataset& dataset, int max_bins = 48);
-  std::uint8_t code(std::size_t row, std::size_t feature) const {
-    return codes[row * dataset->x.cols() + feature];
+  const std::uint8_t* feature_codes(std::size_t feature) const {
+    return codes.data() + feature * rows;
   }
+  std::uint8_t code(std::size_t row, std::size_t feature) const {
+    return codes[feature * rows + row];
+  }
+  std::uint32_t total_bins() const { return bin_offset.back(); }
 };
 
 struct TreeNode {
@@ -65,7 +90,7 @@ struct ClassificationTreeParams {
 /// Fits a weighted-gini CART; leaf value = weighted positive fraction.
 /// `rows` selects the (bootstrap) subset to train on.
 Tree fit_classification_tree(const BinnedDataset& data,
-                             const std::vector<std::size_t>& rows,
+                             std::span<const std::size_t> rows,
                              const ClassificationTreeParams& params, Rng& rng);
 
 struct GradientTreeParams {
@@ -79,7 +104,7 @@ struct GradientTreeParams {
 /// Fits a second-order gradient tree on (grad, hess); leaf value =
 /// -G / (H + lambda). `rows` selects the (subsampled) training rows.
 Tree fit_gradient_tree(const BinnedDataset& data,
-                       const std::vector<std::size_t>& rows,
+                       std::span<const std::size_t> rows,
                        std::span<const double> grad,
                        std::span<const double> hess,
                        const GradientTreeParams& params, Rng& rng);

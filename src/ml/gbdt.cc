@@ -54,6 +54,14 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
   int rounds_since_best = 0;
   std::size_t best_tree_count = 0;
 
+  // Per-round buffers, hoisted so the boosting loop reuses their capacity.
+  std::vector<std::size_t> rows;
+  rows.reserve(fit_rows.size());
+  std::vector<double> val_scores;
+  std::vector<int> val_labels;
+  val_scores.reserve(val_rows.size());
+  val_labels.reserve(val_rows.size());
+
   ThreadPool& pool = ThreadPool::global();
   for (int round = 0; round < params_.max_rounds; ++round) {
     // Logistic-loss gradients, sample-weighted. Elementwise: each row writes
@@ -65,8 +73,7 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
       hess[r] = w * std::max(p * (1.0 - p), 1e-6);
     });
 
-    std::vector<std::size_t> rows;
-    rows.reserve(fit_rows.size());
+    rows.clear();
     for (std::size_t r : fit_rows) {
       if (params_.subsample >= 1.0 || rng.bernoulli(params_.subsample)) {
         rows.push_back(r);
@@ -83,10 +90,8 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
     trees_.push_back(std::move(tree));
 
     if (val_count > 0) {
-      std::vector<double> val_scores;
-      std::vector<int> val_labels;
-      val_scores.reserve(val_rows.size());
-      val_labels.reserve(val_rows.size());
+      val_scores.clear();
+      val_labels.clear();
       for (std::size_t r : val_rows) {
         val_scores.push_back(sigmoid(score[r]));
         val_labels.push_back(train.y[r]);

@@ -10,6 +10,8 @@ RandomForest::RandomForest(RandomForestParams params) : params_(params) {}
 
 void RandomForest::fit(const Dataset& train, Rng& rng) {
   trees_.clear();
+  // Columnar codes + weight bundles are shared read-only by every tree task;
+  // each fit owns its private row arena and histogram pool.
   const BinnedDataset binned = BinnedDataset::build(train);
   const auto sample_size = static_cast<std::size_t>(
       static_cast<double>(train.size()) * params_.bootstrap_fraction);

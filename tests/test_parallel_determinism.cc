@@ -5,6 +5,7 @@
 // ScopedLimit(4) and compare outputs exactly — no tolerances.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -105,6 +106,69 @@ TEST(ParallelDeterminism, GbdtIdenticalAcrossThreadCounts) {
   const ml::Gbdt serial = fit_at(1);
   const ml::Gbdt wide = fit_at(4);
   EXPECT_EQ(serial.to_json().dump(), wide.to_json().dump());
+}
+
+ml::Dataset weighted_dataset(std::size_t rows) {
+  // Non-unit weights + several correlated signal columns: drives deep trees
+  // whose histograms chain through repeated parent-minus-child subtractions.
+  Rng rng(23);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<float> row(20);
+    for (float& v : row) v = static_cast<float>(rng.normal());
+    const bool positive = rng.bernoulli(0.3);
+    if (positive) {
+      row[1] += 1.0f;
+      row[4] += static_cast<float>(rng.uniform());
+      row[9] -= 1.5f;
+    }
+    d.y.push_back(positive ? 1 : 0);
+    d.x.push_row(row);
+    d.weight.push_back(static_cast<float>(0.5 + rng.uniform()));
+    d.dimm.push_back(static_cast<dram::DimmId>(i));
+    d.time.push_back(0);
+  }
+  return d;
+}
+
+TEST(ParallelDeterminism, GbdtSubtractionPathIdenticalAcrossThreadCounts) {
+  // Deep leaf-wise trees so sibling histograms are derived by subtraction
+  // many levels down; the derived splits must still be a pure function of
+  // the seed, never of the thread count.
+  const ml::Dataset d = weighted_dataset(3000);
+  const auto fit_at = [&](int threads) {
+    ThreadPool::ScopedLimit cap(threads);
+    ml::GbdtParams params;
+    params.max_rounds = 12;
+    params.early_stopping_rounds = 0;
+    params.tree.max_leaves = 63;
+    params.tree.max_depth = 16;
+    ml::Gbdt model(params);
+    Rng rng(31);
+    model.fit(d, rng);
+    return model.to_json().dump();
+  };
+  const std::string serial = fit_at(1);
+  EXPECT_EQ(serial, fit_at(2));
+  EXPECT_EQ(serial, fit_at(4));
+}
+
+TEST(ParallelDeterminism, ForestSubtractionPathIdenticalAcrossThreadCounts) {
+  const ml::Dataset d = weighted_dataset(2000);
+  const auto fit_at = [&](int threads) {
+    ThreadPool::ScopedLimit cap(threads);
+    ml::RandomForestParams params;
+    params.trees = 12;
+    params.tree.max_depth = 16;
+    params.tree.min_samples_leaf = 2.0;
+    ml::RandomForest model(params);
+    Rng rng(37);
+    model.fit(d, rng);
+    return model.to_json().dump();
+  };
+  const std::string serial = fit_at(1);
+  EXPECT_EQ(serial, fit_at(2));
+  EXPECT_EQ(serial, fit_at(4));
 }
 
 TEST(ParallelDeterminism, ExperimentResultIdenticalAcrossThreadCounts) {

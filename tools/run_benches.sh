@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs the training micro-benches (BM_TreeTrain / BM_GbdtTrain row-count
+# scaling) and emits BENCH_train.json at the repo root: the pre-refactor
+# single-thread baseline, the current numbers, and the speedup per row
+# count. This file seeds the perf trajectory for the binned-training work —
+# rerun after any change to src/ml/{binning,decision_tree}*.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+fi
+cmake --build "$BUILD" -j --target bench_micro
+
+RAW="$BUILD/bench_train_raw.json"
+"$BUILD/bench/bench_micro" \
+  --benchmark_filter='^BM_(GbdtTrain|TreeTrain)/' \
+  --benchmark_out="$RAW" --benchmark_out_format=json >&2
+
+python3 - "$RAW" "$ROOT/BENCH_train.json" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Pre-refactor single-thread wall times (ms, best of 3) measured at commit
+# 2ff4ea7 with the same generators/params as the benches: 30 features,
+# GBDT 30 rounds / single default classification tree.
+BASELINE_MS = {
+    "BM_GbdtTrain": {"2000": 31.28, "10000": 139.64, "50000": 994.61},
+    "BM_TreeTrain": {"2000": 1.01, "10000": 7.87, "50000": 49.08},
+}
+
+current = {}
+for entry in raw.get("benchmarks", []):
+    name = entry["name"]  # e.g. BM_GbdtTrain/rows:50000
+    if entry.get("run_type", "iteration") != "iteration":
+        continue
+    bench, _, arg = name.partition("/rows:")
+    if bench not in BASELINE_MS or not arg:
+        continue
+    current.setdefault(bench, {})[arg] = round(entry["real_time"], 2)
+
+speedup = {}
+for bench, rows in BASELINE_MS.items():
+    for arg, base in rows.items():
+        now = current.get(bench, {}).get(arg)
+        if now:
+            speedup.setdefault(bench, {})[arg] = round(base / now, 2)
+
+out = {
+    "generated_by": "tools/run_benches.sh",
+    "threads": 1,
+    "context": raw.get("context", {}),
+    "baseline_commit": "2ff4ea7",
+    "baseline_ms": BASELINE_MS,
+    "current_ms": current,
+    "speedup": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(speedup, indent=2, sort_keys=True))
+EOF
