@@ -18,6 +18,7 @@ class DeviceMaps {
   }
 
   bool any_matches(const PatternRule& rule) const {
+    // memfp-lint: allow(unordered-iter): any-of over devices; the bool
     for (const auto& [device, pattern] : per_device_) {
       if (rule.matches(pattern, ces_)) return true;
     }

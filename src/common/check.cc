@@ -1,0 +1,25 @@
+#include "common/check.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace memfp::detail {
+
+CheckMessage::CheckMessage(const char* file, int line, const char* summary) {
+  // Strip the build-tree prefix: the basename is enough to locate the check
+  // and keeps the record stable across build directories.
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << basename << ":" << line << ": " << summary;
+}
+
+CheckMessage::~CheckMessage() {
+  const std::string record = stream_.str();
+  // Single write so concurrent failures from pool workers don't interleave.
+  std::cerr << record << std::endl;
+  std::abort();
+}
+
+}  // namespace memfp::detail

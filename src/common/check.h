@@ -1,0 +1,121 @@
+// Contract-check macros that survive release builds.
+//
+// `assert()` vanishes under NDEBUG (the default RelWithDebInfo build), which
+// means the invariants it guards are unchecked exactly where the project runs
+// its experiments. MEMFP_CHECK stays on in every build type, prints file:line
+// plus the failed expression (and both operand values for the comparison
+// forms), accepts streamed context, and aborts:
+//
+//   MEMFP_CHECK(!samples.empty()) << "extractor produced no samples";
+//   MEMFP_CHECK_EQ(scores.size(), labels.size()) << "while computing AUC";
+//
+// MEMFP_DCHECK compiles to nothing in NDEBUG builds (the condition is not
+// even evaluated) — use it for per-element assertions on hot paths where a
+// branch per iteration would show up in the benches; use MEMFP_CHECK for API
+// boundaries, preconditions and anything that runs at most once per call.
+// See DESIGN.md "Static analysis & contracts" for the full guidance; the
+// `bare-assert` lint rule keeps plain assert() out of src/.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace memfp::detail {
+
+/// Composes the failure record and aborts the process in its destructor.
+/// Created only on the failure path, so constructing the ostringstream is
+/// free in the common case.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* summary);
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+  /// Writes the record to stderr and calls abort(); never returns normally.
+  ~CheckMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Failure description for the comparison checks: null on success, the
+/// "a vs. b" rendering on failure. The bool conversion drives the `while`
+/// in MEMFP_CHECK_OP below.
+class CheckOpResult {
+ public:
+  CheckOpResult() = default;
+  explicit CheckOpResult(std::string message)
+      : message_(std::make_unique<std::string>(std::move(message))) {}
+  explicit operator bool() const { return message_ != nullptr; }
+  const std::string& message() const { return *message_; }
+
+ private:
+  std::unique_ptr<std::string> message_;
+};
+
+/// Streams `value` if the type supports it, a placeholder otherwise, so
+/// MEMFP_CHECK_EQ works on types without operator<< (enum classes, structs).
+template <typename T>
+void stream_operand(std::ostream& os, const T& value) {
+  if constexpr (requires(std::ostream& s, const T& v) { s << v; }) {
+    os << value;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+template <typename A, typename B, typename Op>
+CheckOpResult check_op(const A& a, const B& b, Op op, const char* expression) {
+  if (op(a, b)) return CheckOpResult();
+  std::ostringstream os;
+  os << "Check failed: " << expression << " (";
+  stream_operand(os, a);
+  os << " vs. ";
+  stream_operand(os, b);
+  os << ") ";
+  return CheckOpResult(os.str());
+}
+
+}  // namespace memfp::detail
+
+// The `while` makes the macros single-statement and dangling-else safe; the
+// body constructs a CheckMessage whose destructor aborts, so the loop never
+// iterates twice. The condition is evaluated exactly once.
+#define MEMFP_CHECK(condition)                              \
+  while (!(condition))                                      \
+  ::memfp::detail::CheckMessage(__FILE__, __LINE__,              \
+                                "Check failed: " #condition " ") \
+      .stream()
+
+#define MEMFP_CHECK_OP(op_functor, op_token, a, b)                \
+  while (::memfp::detail::CheckOpResult memfp_check_result =      \
+             ::memfp::detail::check_op((a), (b), op_functor<>(),  \
+                                       #a " " #op_token " " #b))  \
+  ::memfp::detail::CheckMessage(__FILE__, __LINE__,               \
+                                memfp_check_result.message().c_str()) \
+      .stream()
+
+#define MEMFP_CHECK_EQ(a, b) MEMFP_CHECK_OP(std::equal_to, ==, a, b)
+#define MEMFP_CHECK_NE(a, b) MEMFP_CHECK_OP(std::not_equal_to, !=, a, b)
+#define MEMFP_CHECK_LT(a, b) MEMFP_CHECK_OP(std::less, <, a, b)
+#define MEMFP_CHECK_LE(a, b) MEMFP_CHECK_OP(std::less_equal, <=, a, b)
+#define MEMFP_CHECK_GT(a, b) MEMFP_CHECK_OP(std::greater, >, a, b)
+#define MEMFP_CHECK_GE(a, b) MEMFP_CHECK_OP(std::greater_equal, >=, a, b)
+
+// Debug-only: dead code (condition never evaluated at runtime) when NDEBUG
+// is set, as in the default RelWithDebInfo build. The outer `while (false)`
+// keeps the condition and any streamed operands type-checked and referenced
+// in every build, so -Werror unused-variable diagnostics stay quiet.
+#ifdef NDEBUG
+#define MEMFP_DCHECK(condition) \
+  while (false) MEMFP_CHECK(condition)
+#define MEMFP_DCHECK_EQ(a, b) \
+  while (false) MEMFP_CHECK_EQ(a, b)
+#else
+#define MEMFP_DCHECK(condition) MEMFP_CHECK(condition)
+#define MEMFP_DCHECK_EQ(a, b) MEMFP_CHECK_EQ(a, b)
+#endif

@@ -1,13 +1,15 @@
 #include "common/histogram.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace memfp {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
-  assert(hi > lo && bins > 0);
+  MEMFP_CHECK(hi > lo && bins > 0)
+      << "histogram needs a non-empty range and at least one bin";
 }
 
 void Histogram::add(double value, double weight) {

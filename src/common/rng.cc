@@ -1,7 +1,8 @@
 #include "common/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace memfp {
 namespace {
@@ -38,7 +39,7 @@ std::uint64_t Rng::next() {
 }
 
 std::uint64_t Rng::uniform_u64(std::uint64_t n) {
-  assert(n > 0);
+  MEMFP_DCHECK(n > 0);  // hot per-draw path: debug-only
   // Lemire's nearly-divisionless method with rejection for exact uniformity.
   std::uint64_t x = next();
   __uint128_t m = static_cast<__uint128_t>(x) * n;
@@ -55,7 +56,7 @@ std::uint64_t Rng::uniform_u64(std::uint64_t n) {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  MEMFP_DCHECK(lo <= hi);  // hot per-draw path: debug-only
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(uniform_u64(span));
 }
@@ -96,7 +97,7 @@ double Rng::normal(double mean, double stddev) {
 }
 
 double Rng::exponential(double rate) {
-  assert(rate > 0.0);
+  MEMFP_CHECK_GT(rate, 0.0);
   double u;
   do {
     u = uniform();
@@ -123,7 +124,7 @@ std::uint64_t Rng::poisson(double mean) {
 }
 
 std::uint64_t Rng::geometric(double p) {
-  assert(p > 0.0 && p <= 1.0);
+  MEMFP_CHECK(p > 0.0 && p <= 1.0);
   if (p >= 1.0) return 0;
   double u;
   do {
@@ -137,10 +138,10 @@ double Rng::lognormal(double mu, double sigma) {
 }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  MEMFP_CHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) total += w;
-  assert(total > 0.0);
+  MEMFP_CHECK_GT(total, 0.0) << "weights must have a positive sum";
   double target = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];

@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 
+#include "common/check.h"
+
 namespace memfp {
 namespace {
 
@@ -33,8 +35,12 @@ struct ThreadPool::Impl {
   std::atomic<unsigned> next_victim{0};
 };
 
-ThreadPool::ThreadPool(int threads, int default_width) : impl_(new Impl) {
+ThreadPool::ThreadPool(int threads, int default_width)
+    : impl_(std::make_unique<Impl>()) {
   const int want = threads > 0 ? threads : default_threads();
+  // An absurd thread count is always a bug upstream (corrupt MEMFP_THREADS,
+  // width confused with row count), and each worker costs a stack.
+  MEMFP_CHECK_LE(want, 4096) << "implausible thread-pool size";
   default_width_ = default_width > 0 && default_width < want ? default_width
                                                              : want;
   const int workers = want > 1 ? want - 1 : 0;
@@ -61,7 +67,6 @@ ThreadPool::~ThreadPool() {
   // outside after the last worker checked may remain: run them here.
   while (try_run_one(-1)) {
   }
-  delete impl_;
 }
 
 int ThreadPool::default_threads() {
@@ -98,6 +103,7 @@ int ThreadPool::current_limit() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  MEMFP_CHECK(task != nullptr) << "submitted an empty task";
   if (impl_->queues.empty()) {
     task();  // no workers: degenerate single-thread pool runs inline
     return;

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -152,7 +153,7 @@ class ThreadPool {
   void worker_loop(int index);
   bool try_run_one(int self_index);
 
-  Impl* impl_;
+  std::unique_ptr<Impl> impl_;
   int default_width_;
   std::vector<std::thread> workers_;
 };

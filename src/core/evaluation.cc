@@ -1,7 +1,8 @@
 #include "core/evaluation.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace memfp::core {
 
@@ -46,7 +47,7 @@ double ScoredStream::max_score() const {
 double tune_threshold(const std::vector<ScoredStream>& streams,
                       const std::vector<AlarmOutcome>& outcomes_template,
                       const features::PredictionWindows& windows) {
-  assert(streams.size() == outcomes_template.size());
+  MEMFP_CHECK_EQ(streams.size(), outcomes_template.size());
   // Candidate thresholds: the distinct per-DIMM maxima (every alarm-set
   // change happens at one of them), probed just below each value.
   std::vector<double> candidates;

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "common/check.h"
+
 namespace memfp::dram {
 
 const char* verdict_name(EccVerdict verdict) {
@@ -20,6 +22,10 @@ EccVerdict SecDedEcc::classify(const ErrorPattern& pattern,
                                const Geometry& geometry) const {
   if (pattern.empty()) return EccVerdict::kNoError;
   std::array<int, 16> per_beat{};
+  // The per-beat tally assumes the burst fits the fixed 16-slot word; DDR4/5
+  // geometries in the study use 8 or 16 beats.
+  MEMFP_CHECK_LE(geometry.beats, static_cast<int>(per_beat.size()))
+      << "SEC-DED word model supports at most 16 beats per burst";
   for (const ErrorBit& bit : pattern.bits()) {
     if (bit.beat < per_beat.size() && ++per_beat[bit.beat] > 1) {
       return EccVerdict::kUncorrected;

@@ -1,8 +1,9 @@
 #include "dram/fault.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace memfp::dram {
 
@@ -111,7 +112,7 @@ ErrorPattern FaultPatternModel::sample(const Fault& fault, double severity,
   ErrorPattern pattern = fault.scope == DeviceScope::kSingleDevice
                              ? sample_single_device(fault, severity, rng)
                              : sample_multi_device(fault, severity, rng);
-  assert(!pattern.empty());
+  MEMFP_CHECK(!pattern.empty());
   return pattern;
 }
 
@@ -196,7 +197,7 @@ ErrorPattern FaultPatternModel::sample_single_device(const Fault& fault,
 ErrorPattern FaultPatternModel::sample_multi_device(const Fault& fault,
                                                     double severity,
                                                     Rng& rng) const {
-  assert(fault.devices.size() >= 2);
+  MEMFP_CHECK_GE(fault.devices.size(), std::size_t{2});
   const int device_a = fault.devices[0];
   const int device_b = fault.devices[1];
   const FaultLayout la = layout_for(fault, device_a, geometry_);

@@ -242,10 +242,12 @@ std::vector<Sample> FeatureExtractor::extract(const sim::DimmTrace& trace,
       ++row_ces[row];
     }
     int dominant = 0;
+    // memfp-lint: allow(unordered-iter): max() is order-independent
     for (const auto& [device, count] : window_devices) {
       dominant = std::max(dominant, count);
     }
     int max_row = 0;
+    // memfp-lint: allow(unordered-iter): max() is order-independent
     for (const auto& [row, count] : row_ces) max_row = std::max(max_row, count);
 
     f[k++] = log1pf_clamped(static_cast<double>(cells.size()));
@@ -300,6 +302,7 @@ std::vector<Sample> FeatureExtractor::extract(const sim::DimmTrace& trace,
       for (const dram::ErrorBit& bit : life_pattern.bits()) {
         per_device[geometry.device_of_dq(bit.dq)].add(bit);
       }
+      // memfp-lint: allow(unordered-iter): any-of match; the bool result
       for (const auto& [device, pattern] : per_device) {
         if (pattern.dq_count() >= 2 && pattern.beat_count() >= 2 &&
             pattern.beat_span() >= 4) {

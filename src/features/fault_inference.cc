@@ -54,19 +54,26 @@ InferredFaults infer_faults(std::span<const dram::CeEvent> ces,
   }
 
   InferredFaults result;
+  // Every loop below only counts buckets that clear a threshold — a pure
+  // order-independent reduction, so hash iteration order cannot leak into
+  // the inferred fault counts.
+  // memfp-lint: allow(unordered-iter): order-independent count reduction
   for (const auto& [key, count] : cell_counts) {
     if (count >= thresholds.cell_repeat) ++result.cell_faults;
   }
+  // memfp-lint: allow(unordered-iter): order-independent count reduction
   for (const auto& [key, columns] : row_columns) {
     if (static_cast<int>(columns.size()) >= thresholds.row_columns) {
       ++result.row_faults;
     }
   }
+  // memfp-lint: allow(unordered-iter): order-independent count reduction
   for (const auto& [key, rows] : column_rows) {
     if (static_cast<int>(rows.size()) >= thresholds.column_rows) {
       ++result.column_faults;
     }
   }
+  // memfp-lint: allow(unordered-iter): order-independent count reduction
   for (const auto& [key, rows] : bank_rows) {
     const auto cols = bank_columns.find(key);
     if (static_cast<int>(rows.size()) >= thresholds.bank_rows &&
@@ -75,6 +82,7 @@ InferredFaults infer_faults(std::span<const dram::CeEvent> ces,
       ++result.bank_faults;
     }
   }
+  // memfp-lint: allow(unordered-iter): order-independent count reduction
   for (const auto& [device, count] : device_counts) {
     if (count >= thresholds.device_min_ces) ++result.faulty_devices;
   }

@@ -1,8 +1,9 @@
 #include "ml/autodiff.h"
 
-#include <cassert>
 #include <cmath>
 #include <memory>
+
+#include "common/check.h"
 
 namespace memfp::ml {
 namespace {
@@ -29,8 +30,8 @@ int Graph::leaf(Tensor value, bool requires_grad) {
 }
 
 int Graph::add(int a, int b) {
-  assert(nodes_[a].value.rows() == nodes_[b].value.rows() &&
-         nodes_[a].value.cols() == nodes_[b].value.cols());
+  MEMFP_CHECK(nodes_[a].value.rows() == nodes_[b].value.rows() &&
+              nodes_[a].value.cols() == nodes_[b].value.cols());
   Tensor out = nodes_[a].value;
   axpy(1.0f, nodes_[b].value, out);
   const int id = add_node(std::move(out), true, nullptr);
@@ -44,7 +45,7 @@ int Graph::add(int a, int b) {
 int Graph::add_rowvec(int a, int b) {
   const Tensor& av = nodes_[a].value;
   const Tensor& bv = nodes_[b].value;
-  assert(bv.rows() == 1 && bv.cols() == av.cols());
+  MEMFP_CHECK(bv.rows() == 1 && bv.cols() == av.cols());
   Tensor out = av;
   for (std::size_t r = 0; r < out.rows(); ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += bv(0, c);
@@ -209,9 +210,9 @@ int Graph::attention(int q, int k, int v, int tokens, int heads) {
   const Tensor& kv = nodes_[k].value;
   const Tensor& vv = nodes_[v].value;
   const std::size_t d = qv.cols();
-  assert(d % static_cast<std::size_t>(heads) == 0);
+  MEMFP_CHECK_EQ(d % static_cast<std::size_t>(heads), std::size_t{0});
   const std::size_t dh = d / static_cast<std::size_t>(heads);
-  assert(qv.rows() % static_cast<std::size_t>(tokens) == 0);
+  MEMFP_CHECK_EQ(qv.rows() % static_cast<std::size_t>(tokens), std::size_t{0});
   const std::size_t batch = qv.rows() / static_cast<std::size_t>(tokens);
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   const auto t = static_cast<std::size_t>(tokens);
@@ -334,7 +335,7 @@ int Graph::numeric_tokens(const Tensor& x, int w, int b) {
   const Tensor& wv = nodes_[w].value;
   const Tensor& bv = nodes_[b].value;
   const std::size_t batch = x.rows(), features = x.cols(), d = wv.cols();
-  assert(wv.rows() == features && bv.rows() == features && bv.cols() == d);
+  MEMFP_CHECK(wv.rows() == features && bv.rows() == features && bv.cols() == d);
   auto x_copy = std::make_shared<Tensor>(x);
   Tensor out(batch * features, d);
   for (std::size_t r = 0; r < batch; ++r) {
@@ -369,7 +370,7 @@ int Graph::numeric_tokens(const Tensor& x, int w, int b) {
 int Graph::categorical_tokens(const std::vector<int>& codes,
                               std::size_t slots, int table,
                               const std::vector<int>& offsets) {
-  assert(offsets.size() == slots);
+  MEMFP_CHECK_EQ(offsets.size(), slots);
   const Tensor& tv = nodes_[table].value;
   const std::size_t d = tv.cols();
   const std::size_t total = codes.size();
@@ -398,7 +399,7 @@ int Graph::categorical_tokens(const std::vector<int>& codes,
 int Graph::concat_tokens(int cls, const std::vector<int>& parts,
                          const std::vector<int>& tokens_per_part,
                          std::size_t batch) {
-  assert(parts.size() == tokens_per_part.size());
+  MEMFP_CHECK_EQ(parts.size(), tokens_per_part.size());
   const Tensor& cv = nodes_[cls].value;
   const std::size_t d = cv.cols();
   int block = 1;
@@ -443,8 +444,8 @@ int Graph::concat_tokens(int cls, const std::vector<int>& parts,
 int Graph::bce_with_logits(int logits, const std::vector<float>& targets,
                            const std::vector<float>& weights) {
   const Tensor& z = nodes_[logits].value;
-  assert(z.cols() == 1 && z.rows() == targets.size() &&
-         targets.size() == weights.size());
+  MEMFP_CHECK(z.cols() == 1 && z.rows() == targets.size() &&
+              targets.size() == weights.size());
   float weight_sum = 0.0f;
   for (float w : weights) weight_sum += w;
   if (weight_sum <= 0.0f) weight_sum = 1.0f;

@@ -4,11 +4,16 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace memfp::ml {
 
 BinMapper BinMapper::fit(const Dataset& dataset, int max_bins) {
+  // Bin codes are stored as uint8, so a feature may hold at most 256 bins
+  // (thresholds.size() + 1 <= 256 => bin index <= 255).
+  MEMFP_CHECK(max_bins >= 2 && max_bins <= 256)
+      << "max_bins must fit uint8 bin codes";
   BinMapper mapper;
   const std::size_t features = dataset.x.cols();
   mapper.thresholds_.resize(features);

@@ -1,14 +1,15 @@
 #include "ml/dataset.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
+
+#include "common/check.h"
 
 namespace memfp::ml {
 
 void Matrix::push_row(std::span<const float> values) {
   if (rows_ == 0 && cols_ == 0) cols_ = values.size();
-  assert(values.size() == cols_);
+  MEMFP_CHECK_EQ(values.size(), cols_) << "row width must match the matrix";
   data_.insert(data_.end(), values.begin(), values.end());
   ++rows_;
 }
@@ -79,15 +80,30 @@ Dataset downsample(const Dataset& dataset, std::size_t max_negatives_per_dimm,
   for (std::size_t r = 0; r < dataset.size(); ++r) {
     (dataset.y[r] == 1 ? pos : neg)[dataset.dimm[r]].push_back(r);
   }
+  // Visit buckets in ascending DIMM id, never in hash order: each negative
+  // bucket consumes rng draws, so the visit order decides which rows every
+  // bucket keeps — hash order would tie the training set to the standard
+  // library's bucket layout.
+  std::vector<dram::DimmId> neg_ids, pos_ids;
+  neg_ids.reserve(neg.size());
+  pos_ids.reserve(pos.size());
+  // memfp-lint: allow(unordered-iter): keys sorted immediately below
+  for (const auto& [id, rows] : neg) neg_ids.push_back(id);
+  // memfp-lint: allow(unordered-iter): keys sorted immediately below
+  for (const auto& [id, rows] : pos) pos_ids.push_back(id);
+  std::sort(neg_ids.begin(), neg_ids.end());
+  std::sort(pos_ids.begin(), pos_ids.end());
   std::vector<std::size_t> keep;
-  for (auto& [id, rows] : neg) {
+  for (dram::DimmId id : neg_ids) {
+    std::vector<std::size_t>& rows = neg[id];
     if (rows.size() > max_negatives_per_dimm) {
       rng.shuffle(rows);
       rows.resize(max_negatives_per_dimm);
     }
     keep.insert(keep.end(), rows.begin(), rows.end());
   }
-  for (auto& [id, rows] : pos) {
+  for (dram::DimmId id : pos_ids) {
+    std::vector<std::size_t>& rows = pos[id];
     // Keep the latest positive samples: closest to the failure, strongest
     // signal, and they bound the lead time the model actually learns.
     if (rows.size() > max_positives_per_dimm) {

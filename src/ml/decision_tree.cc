@@ -1,11 +1,11 @@
 #include "ml/decision_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <queue>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace memfp::ml {
@@ -117,7 +117,7 @@ class HistogramPool {
 class RowArena {
  public:
   explicit RowArena(std::span<const std::size_t> rows) {
-    assert(rows.size() < std::numeric_limits<std::uint32_t>::max());
+    MEMFP_CHECK_LT(rows.size(), std::numeric_limits<std::uint32_t>::max());
     rows_.reserve(rows.size());
     for (std::size_t r : rows) rows_.push_back(static_cast<std::uint32_t>(r));
   }
@@ -198,7 +198,7 @@ Tree fit_classification_tree(const BinnedDataset& data,
     int depth = 0;
     double pos = 0.0, total = 0.0;
     bool live = false;             // passed the pre-split checks
-    std::vector<double> hist;      // all-feature histogram; empty if !live
+    std::vector<double> hist{};    // all-feature histogram; empty if !live
   };
 
   // Weighted class stats of a slice, summed in row order (bitwise-stable:
@@ -383,7 +383,7 @@ Tree fit_gradient_tree(const BinnedDataset& data,
     int feature = -1;
     int bin = -1;
     double g = 0.0, h = 0.0;
-    std::vector<double> hist;  // retained until the node is split or leafed
+    std::vector<double> hist{};  // retained until the node is split or leafed
   };
 
   const auto leaf_score = [&](double g, double h) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "ml/metrics.h"
@@ -17,6 +18,10 @@ double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 Gbdt::Gbdt(GbdtParams params) : params_(params) {}
 
 void Gbdt::fit(const Dataset& train, Rng& rng) {
+  MEMFP_CHECK_GT(train.size(), std::size_t{0})
+      << "cannot fit a GBDT on an empty dataset";
+  MEMFP_CHECK_EQ(train.y.size(), train.size());
+  MEMFP_CHECK_EQ(train.weight.size(), train.size());
   trees_.clear();
 
   // Hold out a validation fold (by row; the caller already split by DIMM,

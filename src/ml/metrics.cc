@@ -1,8 +1,9 @@
 #include "ml/metrics.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace memfp::ml {
 
@@ -30,7 +31,7 @@ double Confusion::virr(double cold_migration_fraction) const {
 
 Confusion confusion_at(const std::vector<double>& scores,
                        const std::vector<int>& labels, double threshold) {
-  assert(scores.size() == labels.size());
+  MEMFP_CHECK_EQ(scores.size(), labels.size());
   Confusion c;
   for (std::size_t i = 0; i < scores.size(); ++i) {
     const bool predicted = scores[i] >= threshold;
@@ -59,7 +60,7 @@ std::vector<std::size_t> rank_by_score(const std::vector<double>& scores) {
 
 ThresholdChoice best_f1_threshold(const std::vector<double>& scores,
                                   const std::vector<int>& labels) {
-  assert(scores.size() == labels.size());
+  MEMFP_CHECK_EQ(scores.size(), labels.size());
   std::size_t total_pos = 0;
   for (int label : labels) total_pos += label == 1;
   ThresholdChoice best;
@@ -96,7 +97,7 @@ ThresholdChoice best_f1_threshold(const std::vector<double>& scores,
 
 double pr_auc(const std::vector<double>& scores,
               const std::vector<int>& labels) {
-  assert(scores.size() == labels.size());
+  MEMFP_CHECK_EQ(scores.size(), labels.size());
   std::size_t total_pos = 0;
   for (int label : labels) total_pos += label == 1;
   if (total_pos == 0) return 0.0;
@@ -118,7 +119,7 @@ double pr_auc(const std::vector<double>& scores,
 
 double roc_auc(const std::vector<double>& scores,
                const std::vector<int>& labels) {
-  assert(scores.size() == labels.size());
+  MEMFP_CHECK_EQ(scores.size(), labels.size());
   // Rank-sum (Mann-Whitney) formulation with tie handling via average ranks.
   std::vector<std::size_t> order = rank_by_score(scores);
   std::reverse(order.begin(), order.end());  // ascending score
@@ -150,7 +151,7 @@ double roc_auc(const std::vector<double>& scores,
 
 double log_loss(const std::vector<double>& scores,
                 const std::vector<int>& labels) {
-  assert(scores.size() == labels.size());
+  MEMFP_CHECK_EQ(scores.size(), labels.size());
   if (scores.empty()) return 0.0;
   double total = 0.0;
   for (std::size_t k = 0; k < scores.size(); ++k) {

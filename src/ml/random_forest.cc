@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace memfp::ml {
@@ -9,6 +10,10 @@ namespace memfp::ml {
 RandomForest::RandomForest(RandomForestParams params) : params_(params) {}
 
 void RandomForest::fit(const Dataset& train, Rng& rng) {
+  MEMFP_CHECK_GT(train.size(), std::size_t{0})
+      << "cannot fit a random forest on an empty dataset";
+  MEMFP_CHECK_EQ(train.y.size(), train.size());
+  MEMFP_CHECK_EQ(train.weight.size(), train.size());
   trees_.clear();
   // Columnar codes + weight bundles are shared read-only by every tree task;
   // each fit owns its private row arena and histogram pool.

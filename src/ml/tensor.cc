@@ -1,7 +1,8 @@
 #include "ml/tensor.h"
 
-#include <cassert>
 #include <cstring>
+
+#include "common/check.h"
 
 namespace memfp::ml {
 
@@ -24,12 +25,12 @@ Tensor Tensor::random_uniform(std::size_t rows, std::size_t cols, float bound,
 // this project (d_model <= 64), and trivially correct.
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
-  assert(a.cols() == b.rows());
+  MEMFP_CHECK_EQ(a.cols(), b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (!accumulate) {
     out = Tensor(m, n);
   } else {
-    assert(out.rows() == m && out.cols() == n);
+    MEMFP_CHECK(out.rows() == m && out.cols() == n);
   }
   for (std::size_t i = 0; i < m; ++i) {
     float* out_row = out.data() + i * n;
@@ -44,12 +45,12 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
 }
 
 void gemm_at(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
-  assert(a.rows() == b.rows());
+  MEMFP_CHECK_EQ(a.rows(), b.rows());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (!accumulate) {
     out = Tensor(m, n);
   } else {
-    assert(out.rows() == m && out.cols() == n);
+    MEMFP_CHECK(out.rows() == m && out.cols() == n);
   }
   for (std::size_t p = 0; p < k; ++p) {
     const float* a_row = a.data() + p * m;
@@ -64,12 +65,12 @@ void gemm_at(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
 }
 
 void gemm_bt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
-  assert(a.cols() == b.cols());
+  MEMFP_CHECK_EQ(a.cols(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (!accumulate) {
     out = Tensor(m, n);
   } else {
-    assert(out.rows() == m && out.cols() == n);
+    MEMFP_CHECK(out.rows() == m && out.cols() == n);
   }
   for (std::size_t i = 0; i < m; ++i) {
     const float* a_row = a.data() + i * k;
@@ -84,7 +85,7 @@ void gemm_bt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
 }
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {
-  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  MEMFP_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
   const float* xs = x.data();
   float* ys = y.data();
   for (std::size_t i = 0; i < x.size(); ++i) ys[i] += alpha * xs[i];

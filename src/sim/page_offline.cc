@@ -32,6 +32,7 @@ OfflineOutcome apply_page_offlining(const DimmTrace& trace,
   const auto apply_alarm_action = [&] {
     // Prediction-guided: retire the DIMM's currently hottest rows.
     std::vector<std::pair<int, std::uint64_t>> hottest;
+    // memfp-lint: allow(unordered-iter): sorted by (count, row) just below
     for (const auto& [row, count] : row_ces) hottest.push_back({count, row});
     std::sort(hottest.rbegin(), hottest.rend());
     for (const auto& [count, row] : hottest) {

@@ -86,14 +86,17 @@ void gradient_check(
 
 /// Reduces any node to 1x1 with matmuls against fixed ones-vectors.
 int to_scalar(Graph& graph, int node) {
-  const Tensor& v = graph.value(node);
-  Tensor right(v.cols(), 1);
+  // Copy the dims: adding leaves below may reallocate the graph's node
+  // storage, which would dangle a held `const Tensor&`.
+  const std::size_t node_rows = graph.value(node).rows();
+  const std::size_t node_cols = graph.value(node).cols();
+  Tensor right(node_cols, 1);
   for (std::size_t i = 0; i < right.size(); ++i) {
     right.data()[i] = 0.5f + 0.1f * static_cast<float>(i % 5);
   }
   const int right_id = graph.leaf(right, false);
   const int col = graph.matmul(node, right_id);  // rows x 1
-  Tensor left(1, v.rows());
+  Tensor left(1, node_rows);
   for (std::size_t i = 0; i < left.size(); ++i) {
     left.data()[i] = 0.7f - 0.05f * static_cast<float>(i % 3);
   }

@@ -1,0 +1,462 @@
+// Tests for the in-tree analyzer (tools/lint): every rule must fire on its
+// violation fixture, stay silent on the clean fixture, and respect an
+// allow() suppression with a justification. The fixtures live in raw
+// strings, which also exercises the scrubber: when memfp_lint walks the real
+// tree it lints THIS file, and none of the snippets below may leak out of
+// their literals.
+#include "lint_core.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace memfp::lint {
+namespace {
+
+std::vector<std::string> rules_found(std::string_view path,
+                                     std::string_view source) {
+  std::vector<std::string> rules;
+  for (const Violation& v : lint_source(path, source)) {
+    rules.push_back(v.rule);
+  }
+  return rules;
+}
+
+int count_rule(const std::vector<std::string>& rules,
+               const std::string& rule) {
+  return static_cast<int>(std::count(rules.begin(), rules.end(), rule));
+}
+
+// ---------------------------------------------------------------------------
+// unseeded-random
+// ---------------------------------------------------------------------------
+
+TEST(LintUnseededRandom, FiresOnEveryBannedSource) {
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    int draw() { return rand() % 6; }
+  )cc"),
+                       "unseeded-random"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    std::mt19937 gen(42);
+  )cc"),
+                       "unseeded-random"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    std::random_device rd;
+  )cc"),
+                       "unseeded-random"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    void reseed() { srand(7); }
+  )cc"),
+                       "unseeded-random"),
+            1);
+}
+
+TEST(LintUnseededRandom, SilentOnCleanCodeAndProjectRng) {
+  EXPECT_TRUE(rules_found("src/sim/x.cc", R"cc(
+    double draw(memfp::Rng& rng) { return rng.uniform(); }
+    int spread(int operand) { return operand; }  // 'rand' inside a word
+  )cc")
+                  .empty());
+  // The sanctioned implementation file is exempt.
+  EXPECT_TRUE(rules_found("src/common/rng.cc", R"cc(
+    std::uint64_t splitmix64_not_mt19937_but_exempt = rand();
+  )cc")
+                  .empty());
+}
+
+TEST(LintUnseededRandom, AppliesInTestsAndBench) {
+  EXPECT_EQ(count_rule(rules_found("tests/test_x.cc", R"cc(
+    std::mt19937 gen;
+  )cc"),
+                       "unseeded-random"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("bench/bench_x.cc", R"cc(
+    std::random_device rd;
+  )cc"),
+                       "unseeded-random"),
+            1);
+}
+
+TEST(LintUnseededRandom, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/sim/x.cc", R"cc(
+    // memfp-lint: allow(unseeded-random): seeding study needs raw entropy
+    std::random_device rd;
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(LintWallClock, FiresOnClockReads) {
+  EXPECT_EQ(count_rule(rules_found("src/core/x.cc", R"cc(
+    auto t0 = std::chrono::steady_clock::now();
+  )cc"),
+                       "wall-clock"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/core/x.cc", R"cc(
+    std::time_t stamp = time(nullptr);
+  )cc"),
+                       "wall-clock"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/core/x.cc", R"cc(
+    long ticks = clock();
+  )cc"),
+                       "wall-clock"),
+            1);
+}
+
+TEST(LintWallClock, SilentOnSimTimeAndMembers) {
+  EXPECT_TRUE(rules_found("src/core/x.cc", R"cc(
+    SimTime due = sample.time + windows.lead;
+    bool late(const Sample& s) { return s.time > due; }
+  )cc")
+                  .empty());
+}
+
+TEST(LintWallClock, ScopedToSrcOnly) {
+  // Benches and tests may time things; the contract covers library code.
+  EXPECT_TRUE(rules_found("bench/bench_x.cc", R"cc(
+    auto t0 = std::chrono::steady_clock::now();
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIter, FiresOnRangeForOverUnorderedContainer) {
+  const auto rules = rules_found("src/features/x.cc", R"cc(
+    std::unordered_map<std::uint64_t, int> counts;
+    void tally(std::vector<int>& out) {
+      for (const auto& [key, count] : counts) out.push_back(count);
+    }
+  )cc");
+  EXPECT_EQ(count_rule(rules, "unordered-iter"), 1);
+}
+
+TEST(LintUnorderedIter, TracksCommaSeparatedDeclarators) {
+  const auto rules = rules_found("src/features/x.cc", R"cc(
+    std::unordered_map<int, int> neg, pos;
+    int sum() {
+      int total = 0;
+      for (const auto& [k, v] : pos) total += v;
+      return total;
+    }
+  )cc");
+  EXPECT_EQ(count_rule(rules, "unordered-iter"), 1);
+}
+
+TEST(LintUnorderedIter, SilentOnOrderedContainersAndIndexLoops) {
+  EXPECT_TRUE(rules_found("src/features/x.cc", R"cc(
+    std::map<std::uint64_t, int> counts;
+    std::unordered_map<std::uint64_t, int> hist;
+    void tally(std::vector<int>& out) {
+      for (const auto& [key, count] : counts) out.push_back(count);
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += 1;
+    }
+  )cc")
+                  .empty());
+}
+
+TEST(LintUnorderedIter, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/features/x.cc", R"cc(
+    std::unordered_map<std::uint64_t, int> counts;
+    int max_count() {
+      int best = 0;
+      // memfp-lint: allow(unordered-iter): max() is order-independent
+      for (const auto& [key, count] : counts) best = std::max(best, count);
+      return best;
+    }
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// bare-assert
+// ---------------------------------------------------------------------------
+
+TEST(LintBareAssert, FiresInLibraryCode) {
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    void f(int n) { assert(n > 0); }
+  )cc"),
+                       "bare-assert"),
+            1);
+}
+
+TEST(LintBareAssert, SilentOnCheckMacrosStaticAssertAndTests) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    void f(int n) {
+      MEMFP_CHECK(n > 0) << "need rows";
+      static_assert(sizeof(int) == 4);
+    }
+  )cc")
+                  .empty());
+  // gtest's ASSERT_* family and test-local assert() are out of scope.
+  EXPECT_TRUE(rules_found("tests/test_x.cc", R"cc(
+    void f(int n) { assert(n > 0); }
+  )cc")
+                  .empty());
+}
+
+TEST(LintBareAssert, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    // memfp-lint: allow(bare-assert): constexpr context, CHECK cannot run
+    void f(int n) { assert(n > 0); }
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// naked-new
+// ---------------------------------------------------------------------------
+
+TEST(LintNakedNew, FiresOnNewAndDelete) {
+  const auto rules = rules_found("src/core/x.cc", R"cc(
+    void f() {
+      int* p = new int(7);
+      delete p;
+    }
+  )cc");
+  EXPECT_EQ(count_rule(rules, "naked-new"), 2);
+}
+
+TEST(LintNakedNew, SilentOnSmartPointersAndDeletedFunctions) {
+  EXPECT_TRUE(rules_found("src/core/x.cc", R"cc(
+    struct Pool {
+      Pool(const Pool&) = delete;
+      Pool& operator=(const Pool&) = delete;
+      std::unique_ptr<int> slot = std::make_unique<int>(7);
+      int renewals = 0;  // 'new' inside a word
+    };
+  )cc")
+                  .empty());
+}
+
+TEST(LintNakedNew, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/core/x.cc", R"cc(
+    void* grab(std::size_t n) {
+      // memfp-lint: allow(naked-new): arena handroll measured in BENCH.md
+      return new char[n];
+    }
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// thread-spawn
+// ---------------------------------------------------------------------------
+
+TEST(LintThreadSpawn, FiresOutsideThePool) {
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    void f() { std::thread worker([] {}); worker.join(); }
+  )cc"),
+                       "thread-spawn"),
+            1);
+}
+
+TEST(LintThreadSpawn, SilentOnPoolFileAndNonSpawnUses) {
+  EXPECT_TRUE(rules_found("src/common/thread_pool.cc", R"cc(
+    std::thread worker([] {});
+  )cc")
+                  .empty());
+  EXPECT_TRUE(rules_found("src/sim/x.cc", R"cc(
+    unsigned hw = std::thread::hardware_concurrency();
+    std::set<std::thread::id> ids;
+  )cc")
+                  .empty());
+}
+
+TEST(LintThreadSpawn, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/sim/x.cc", R"cc(
+    // memfp-lint: allow(thread-spawn): watchdog must outlive the pool
+    std::thread watchdog([] {});
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+// ---------------------------------------------------------------------------
+
+TEST(LintPragmaOnce, FiresOnGuardlessHeader) {
+  EXPECT_EQ(count_rule(rules_found("src/dram/x.h", R"cc(
+    struct Coord { int row; int column; };
+  )cc"),
+                       "pragma-once"),
+            1);
+}
+
+TEST(LintPragmaOnce, SilentWithGuardAndOnSourceFiles) {
+  EXPECT_TRUE(rules_found("src/dram/x.h", R"cc(
+    #pragma once
+    struct Coord { int row; int column; };
+  )cc")
+                  .empty());
+  EXPECT_TRUE(rules_found("src/dram/x.cc", R"cc(
+    static int local = 0;
+  )cc")
+                  .empty());
+}
+
+TEST(LintPragmaOnce, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/dram/x.h", R"cc(
+    // memfp-lint: allow(pragma-once): generated multi-include x-macro header
+    struct Coord { int row; };
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// banned-include
+// ---------------------------------------------------------------------------
+
+TEST(LintBannedInclude, FiresOnBannedHeaders) {
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    #include <random>
+  )cc"),
+                       "banned-include"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    #include <cassert>
+  )cc"),
+                       "banned-include"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    #include <ctime>
+  )cc"),
+                       "banned-include"),
+            1);
+}
+
+TEST(LintBannedInclude, IostreamBannedInHeadersOnly) {
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.h", R"cc(
+    #pragma once
+    #include <iostream>
+  )cc"),
+                       "banned-include"),
+            1);
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    #include <iostream>
+  )cc")
+                  .empty());
+}
+
+TEST(LintBannedInclude, SilentOnAllowedHeaders) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    #include <algorithm>
+    #include <vector>
+    #include "common/check.h"
+  )cc")
+                  .empty());
+}
+
+TEST(LintBannedInclude, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    // memfp-lint: allow(banned-include): bridging to a vendored API
+    #include <ctime>
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression mechanics
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressions, SameLineCommentAlsoSuppresses) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    void f(int n) { assert(n); }  // memfp-lint: allow(bare-assert): hot loop
+  )cc")
+                  .empty());
+}
+
+TEST(LintSuppressions, MissingJustificationIsAViolation) {
+  const auto rules = rules_found("src/ml/x.cc", R"cc(
+    // memfp-lint: allow(bare-assert)
+    void f(int n) { assert(n > 0); }
+  )cc");
+  EXPECT_EQ(count_rule(rules, "missing-justification"), 1);
+  // And the waiver does not take effect.
+  EXPECT_EQ(count_rule(rules, "bare-assert"), 1);
+}
+
+TEST(LintSuppressions, UnknownRuleIsAViolation) {
+  const auto rules = rules_found("src/ml/x.cc", R"cc(
+    // memfp-lint: allow(no-such-rule): whatever
+    int x = 0;
+  )cc");
+  EXPECT_EQ(count_rule(rules, "unknown-rule"), 1);
+}
+
+TEST(LintSuppressions, UnusedAllowIsAViolation) {
+  const auto rules = rules_found("src/ml/x.cc", R"cc(
+    // memfp-lint: allow(bare-assert): nothing here actually asserts
+    int x = 0;
+  )cc");
+  EXPECT_EQ(count_rule(rules, "unused-allow"), 1);
+}
+
+TEST(LintSuppressions, AllowOnlyCoversItsOwnRule) {
+  const auto rules = rules_found("src/ml/x.cc", R"cc(
+    // memfp-lint: allow(naked-new): wrong rule for this line
+    void f(int n) { assert(n > 0); }
+  )cc");
+  EXPECT_EQ(count_rule(rules, "bare-assert"), 1);
+  EXPECT_EQ(count_rule(rules, "unused-allow"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber: literals and comments never trigger rules
+// ---------------------------------------------------------------------------
+
+TEST(LintScrubber, CommentsAndStringsAreInvisible) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    // calling rand() here would be bad; so would new int
+    /* std::thread t; assert(false); */
+    const char* doc = "use std::mt19937 and rand() and new and delete";
+  )cc")
+                  .empty());
+}
+
+TEST(LintScrubber, RawStringsAreInvisible) {
+  // Mirrors this very file: fixture code embedded in a raw string must not
+  // fire when the tree walk lints the test itself.
+  const std::string nested = std::string("const char* fixture = R\"(") +
+                             "assert(1); std::thread t; new int;" + ")\";";
+  EXPECT_TRUE(rules_found("src/ml/x.cc", nested).empty());
+}
+
+TEST(LintScrubber, ViolationCarriesFileLineAndRule) {
+  const auto violations = lint_source("src/ml/x.cc",
+                                      "int a = 0;\n"
+                                      "int* p = new int(3);\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].file, "src/ml/x.cc");
+  EXPECT_EQ(violations[0].line, 2);
+  EXPECT_EQ(violations[0].rule, "naked-new");
+}
+
+TEST(LintFormat, OneLinePerViolation) {
+  const auto violations = lint_source("src/ml/x.cc", "int* p = new int;\n");
+  const std::string text = format(violations);
+  EXPECT_NE(text.find("src/ml/x.cc:1: [naked-new]"), std::string::npos);
+}
+
+// The catalog the suppression parser accepts must cover every rule the
+// engine can emit (meta rules excluded — they are never suppressible).
+TEST(LintRules, CatalogIsComplete) {
+  const std::vector<std::string> expected = {
+      "unseeded-random", "wall-clock",   "unordered-iter", "bare-assert",
+      "naked-new",       "thread-spawn", "pragma-once",    "banned-include"};
+  EXPECT_EQ(rule_names(), expected);
+}
+
+}  // namespace
+}  // namespace memfp::lint

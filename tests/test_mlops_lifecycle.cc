@@ -54,10 +54,10 @@ TEST_F(LifecycleTest, EndToEndLoop) {
   service.apply_feedback(*fleet_);
   const MitigationReport mitigation =
       account_mitigations(*fleet_, alarms, store.windows());
-  // The loop is wired: every alarm the service raised is accounted for.
-  EXPECT_EQ(mitigation.true_positives + mitigation.false_positives >=
-            alarms.alarms().size() ? true : mitigation.false_negatives >= 0,
-            true);
+  // The loop is wired: alarms are coalesced per DIMM, and every alarmed DIMM
+  // is accounted as exactly one true or false positive.
+  EXPECT_EQ(mitigation.true_positives + mitigation.false_positives,
+            alarms.alarms().size());
   EXPECT_NE(monitoring.dashboard().find("online precision"),
             std::string::npos);
 }

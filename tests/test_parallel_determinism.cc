@@ -38,7 +38,9 @@ void expect_identical_fleets(const sim::FleetTrace& a,
       EXPECT_EQ(x.ces[e].coord.column, y.ces[e].coord.column);
     }
     ASSERT_EQ(x.ue.has_value(), y.ue.has_value()) << "DIMM " << x.id;
-    if (x.ue) EXPECT_EQ(x.ue->time, y.ue->time);
+    if (x.ue) {
+      EXPECT_EQ(x.ue->time, y.ue->time);
+    }
     EXPECT_EQ(x.workload.cpu_utilization, y.workload.cpu_utilization);
   }
 }

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Verification matrix: the correctness gate every PR runs before merging.
+#
+#   leg 1  lint      memfp-lint static analysis over src/, tests/, bench/
+#   leg 2  werror    clean -Wall -Wextra -Werror build + full ctest
+#   leg 3  asan      AddressSanitizer + UBSan build, full ctest
+#   leg 4  tsan      ThreadSanitizer build, thread-pool + parallel
+#                    determinism suites (the racy surface; the full suite
+#                    under TSan is ~20x and adds no extra coverage)
+#   leg 5  tidy      clang-tidy over src/ (advisory; skipped when the
+#                    binary is not installed)
+#
+# Every leg builds out-of-source under build-check/ so the developer build/
+# tree is never poisoned by sanitizer objects. Usage:
+#
+#   tools/check.sh          # full matrix
+#   tools/check.sh lint     # one leg (lint|werror|asan|tsan|tidy)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MATRIX_ROOT="${MATRIX_ROOT:-$ROOT/build-check}"
+JOBS="${JOBS:-$(nproc)}"
+LEG="${1:-all}"
+
+log() { printf '\n==== check.sh: %s ====\n' "$*" >&2; }
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$ROOT" "$@" > /dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_lint() {
+  log "leg: lint (memfp-lint static analysis)"
+  local dir="$MATRIX_ROOT/lint"
+  cmake -B "$dir" -S "$ROOT" > /dev/null
+  cmake --build "$dir" -j "$JOBS" --target memfp_lint
+  "$dir/tools/lint/memfp_lint" "$ROOT"
+}
+
+run_werror() {
+  log "leg: werror (-Wall -Wextra -Werror, full ctest)"
+  local dir="$MATRIX_ROOT/werror"
+  configure_and_build "$dir" -DMEMFP_WERROR=ON
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_asan() {
+  log "leg: asan (AddressSanitizer + UBSan, full ctest)"
+  local dir="$MATRIX_ROOT/asan"
+  configure_and_build "$dir" -DMEMFP_SANITIZE=address,undefined
+  # halt_on_error: a UBSan report must fail the leg, not scroll past.
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_tsan() {
+  log "leg: tsan (ThreadSanitizer, thread-pool + parallel determinism)"
+  local dir="$MATRIX_ROOT/tsan"
+  configure_and_build "$dir" -DMEMFP_SANITIZE=thread
+  # The concurrency surface: the pool itself plus every parallelised path
+  # (fleet sim, forest/GBDT training, scoring) exercised with >1 thread.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -R 'ThreadPool|Parallel|Determinism'
+}
+
+run_tidy() {
+  log "leg: tidy (clang-tidy, advisory)"
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping advisory leg" >&2
+    return 0
+  fi
+  local dir="$MATRIX_ROOT/lint"  # reuse the plain configure
+  cmake -B "$dir" -S "$ROOT" > /dev/null
+  find "$ROOT/src" -name '*.cc' -print0 |
+    xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
+}
+
+case "$LEG" in
+  lint)   run_lint ;;
+  werror) run_werror ;;
+  asan)   run_asan ;;
+  tsan)   run_tsan ;;
+  tidy)   run_tidy ;;
+  all)
+    run_lint
+    run_werror
+    run_asan
+    run_tsan
+    run_tidy
+    log "matrix green"
+    ;;
+  *)
+    echo "usage: tools/check.sh [lint|werror|asan|tsan|tidy]" >&2
+    exit 2
+    ;;
+esac

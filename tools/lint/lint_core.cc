@@ -1,0 +1,625 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace memfp::lint {
+namespace {
+
+constexpr std::size_t npos = std::string::npos;
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// A file split into comment-and-literal-blanked code lines plus the
+/// comment texts (for suppression parsing). 1-based line numbers.
+struct Scrubbed {
+  std::vector<std::string> code;
+  std::vector<std::pair<int, std::string>> comments;
+};
+
+/// Strips comments, string literals (including raw strings) and char
+/// literals. Literal bodies simply vanish from the code view; comments are
+/// collected verbatim with the line they start on.
+Scrubbed scrub(std::string_view text) {
+  Scrubbed out;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string line;
+  std::string comment;
+  std::string raw_terminator;  // ")delim\"" of the active raw string
+  int line_no = 1;
+  int comment_line = 1;
+
+  const auto flush_line = [&] {
+    out.code.push_back(line);
+    line.clear();
+    ++line_no;
+  };
+  const auto flush_comment = [&] {
+    out.comments.emplace_back(comment_line, comment);
+    comment.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line = line_no;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line = line_no;
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R' &&
+                   (i < 2 || !ident_char(text[i - 2]))) {
+          // Raw string: R"delim( body )delim"
+          std::size_t open = text.find('(', i + 1);
+          if (open == npos) open = text.size();
+          raw_terminator = ")";
+          raw_terminator.append(text.substr(i + 1, open - i - 1));
+          raw_terminator.push_back('"');
+          line.pop_back();  // drop the R prefix from the code view
+          i = open;         // skip delimiter; body consumed in kRawString
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (line.empty() || !ident_char(line.back()))) {
+          // The look-behind keeps digit separators (1'000'000) in code.
+          state = State::kChar;
+        } else if (c == '\n') {
+          flush_line();
+        } else {
+          line.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          flush_comment();
+          flush_line();
+          state = State::kCode;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          ++i;
+          state = State::kCode;
+        } else if (c == '\n') {
+          flush_line();
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c == '\n') {
+          flush_line();  // unterminated; keep line numbers aligned
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          if (c == '\n') flush_line();
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == '\n') {
+          flush_line();
+        } else if (c == raw_terminator.front() &&
+                   text.compare(i, raw_terminator.size(), raw_terminator) ==
+                       0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    flush_comment();
+  }
+  out.code.push_back(line);
+  return out;
+}
+
+/// First occurrence of `word` in `line` at or after `from` with identifier
+/// boundaries on both sides.
+std::size_t find_word(const std::string& line, std::string_view word,
+                      std::size_t from = 0) {
+  while (from <= line.size()) {
+    const std::size_t p = line.find(word, from);
+    if (p == npos) return npos;
+    const std::size_t end = p + word.size();
+    const bool left_ok = p == 0 || !ident_char(line[p - 1]);
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return p;
+    from = p + 1;
+  }
+  return npos;
+}
+
+/// Whether `word` occurs in `line` immediately followed (modulo spaces) by
+/// `follower`.
+bool word_followed_by(const std::string& line, std::string_view word,
+                      char follower, std::size_t* at = nullptr) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t p = find_word(line, word, from);
+    if (p == npos) return false;
+    std::size_t j = p + word.size();
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (j < line.size() && line[j] == follower) {
+      if (at != nullptr) *at = p;
+      return true;
+    }
+    from = p + 1;
+  }
+}
+
+char prev_nonspace(const std::string& line, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (line[pos] != ' ' && line[pos] != '\t') return line[pos];
+  }
+  return '\0';
+}
+
+struct Allow {
+  int line = 0;
+  std::string rule;
+  bool used = false;
+};
+
+struct Linter {
+  std::string path;
+  bool header = false;
+  bool in_src = false;
+  bool in_tests = false;
+  bool in_bench = false;
+  Scrubbed scrubbed;
+  std::vector<Allow> allows;
+  std::vector<Violation> violations;
+
+  void report(int line, const std::string& rule, std::string message) {
+    for (Allow& allow : allows) {
+      if (allow.rule == rule &&
+          (allow.line == line || allow.line == line - 1)) {
+        allow.used = true;
+        return;
+      }
+    }
+    violations.push_back({path, line, rule, std::move(message)});
+  }
+};
+
+bool known_rule(const std::string& rule) {
+  const auto& names = rule_names();
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+/// Parses `memfp-lint: allow(<rule>): <justification>` suppressions out of
+/// the comment stream. Malformed suppressions are violations themselves.
+void collect_allows(Linter& lint) {
+  for (const auto& [line, text] : lint.scrubbed.comments) {
+    const std::size_t tag = text.find("memfp-lint:");
+    if (tag == npos) continue;
+    const std::size_t open = text.find("allow(", tag);
+    const std::size_t close =
+        open == npos ? npos : text.find(')', open + 6);
+    if (open == npos || close == npos) {
+      lint.violations.push_back(
+          {lint.path, line, "lint-syntax",
+           "malformed memfp-lint comment; expected "
+           "'memfp-lint: allow(<rule>): <justification>'"});
+      continue;
+    }
+    const std::string rule = text.substr(open + 6, close - open - 6);
+    if (!known_rule(rule)) {
+      lint.violations.push_back({lint.path, line, "unknown-rule",
+                                 "allow() names unknown rule '" + rule +
+                                     "'"});
+      continue;
+    }
+    std::size_t j = close + 1;
+    while (j < text.size() && (text[j] == ' ' || text[j] == ':')) ++j;
+    const bool has_colon = text.find(':', close) != npos;
+    if (!has_colon || j >= text.size()) {
+      lint.violations.push_back(
+          {lint.path, line, "missing-justification",
+           "allow(" + rule + ") requires a justification: "
+           "'memfp-lint: allow(" + rule + "): <why this is safe>'"});
+      continue;
+    }
+    lint.allows.push_back({line, rule, false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void rule_unseeded_random(Linter& lint) {
+  if (!(lint.in_src || lint.in_tests || lint.in_bench)) return;
+  if (lint.path == "src/common/rng.h" || lint.path == "src/common/rng.cc") {
+    return;  // the one sanctioned randomness source
+  }
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    const int n = static_cast<int>(i) + 1;
+    const char* found = nullptr;
+    if (find_word(line, "random_device") != npos) {
+      found = "std::random_device";
+    } else if (find_word(line, "mt19937") != npos ||
+               find_word(line, "mt19937_64") != npos) {
+      found = "std::mt19937";
+    } else if (find_word(line, "default_random_engine") != npos) {
+      found = "std::default_random_engine";
+    } else if (find_word(line, "srand") != npos) {
+      found = "srand()";
+    } else if (word_followed_by(line, "rand", '(')) {
+      found = "rand()";
+    }
+    if (found != nullptr) {
+      lint.report(n, "unseeded-random",
+                  std::string(found) +
+                      " breaks seed-reproducibility; draw from memfp::Rng "
+                      "(common/rng.h) instead");
+    }
+  }
+}
+
+void rule_wall_clock(Linter& lint) {
+  if (!lint.in_src) return;
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    const int n = static_cast<int>(i) + 1;
+    const char* found = nullptr;
+    for (const char* clock : {"system_clock", "steady_clock",
+                              "high_resolution_clock", "gettimeofday",
+                              "clock_gettime"}) {
+      if (find_word(line, clock) != npos) {
+        found = clock;
+        break;
+      }
+    }
+    std::size_t at = npos;
+    if (found == nullptr && word_followed_by(line, "time", '(', &at) &&
+        prev_nonspace(line, at) != '.') {
+      found = "time()";
+    }
+    if (found == nullptr && word_followed_by(line, "clock", '(', &at) &&
+        prev_nonspace(line, at) != '.') {
+      found = "clock()";
+    }
+    if (found != nullptr) {
+      lint.report(n, "wall-clock",
+                  std::string(found) +
+                      " reads the wall clock; model-affecting code runs on "
+                      "SimTime (common/time.h) so runs replay exactly");
+    }
+  }
+}
+
+void rule_unordered_iter(Linter& lint) {
+  if (!lint.in_src) return;
+  // Pass 1: names declared with an unordered container type in this file.
+  std::vector<std::string> unordered_names;
+  for (const std::string& line : lint.scrubbed.code) {
+    for (std::size_t from = 0;;) {
+      std::size_t p = find_word(line, "unordered_map", from);
+      if (p == npos) p = find_word(line, "unordered_set", from);
+      if (p == npos) break;
+      const std::size_t open = line.find('<', p);
+      if (open == npos) break;
+      int depth = 0;
+      std::size_t j = open;
+      for (; j < line.size(); ++j) {
+        if (line[j] == '<') ++depth;
+        if (line[j] == '>' && --depth == 0) break;
+      }
+      if (j >= line.size()) break;  // template args continue past this line
+      ++j;
+      while (j < line.size() &&
+             (line[j] == ' ' || line[j] == '&' || line[j] == '*')) {
+        ++j;
+      }
+      // One or more comma-separated declarators: `... > neg, pos;`
+      while (j < line.size()) {
+        std::size_t name_end = j;
+        while (name_end < line.size() && ident_char(line[name_end])) {
+          ++name_end;
+        }
+        if (name_end == j) break;
+        unordered_names.push_back(line.substr(j, name_end - j));
+        j = name_end;
+        while (j < line.size() && line[j] == ' ') ++j;
+        if (j >= line.size() || line[j] != ',') break;
+        ++j;
+        while (j < line.size() && line[j] == ' ') ++j;
+      }
+      from = p + 1;
+    }
+  }
+  // Pass 2: range-for statements whose range expression names one of them.
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    const std::size_t for_at = find_word(line, "for");
+    if (for_at == npos) continue;
+    const std::size_t open = line.find('(', for_at);
+    if (open == npos) continue;
+    // The range-for colon: depth-1 ':' that is not part of '::'.
+    int depth = 0;
+    std::size_t colon = npos;
+    for (std::size_t j = open; j < line.size(); ++j) {
+      const char c = line[j];
+      if (c == '(') ++depth;
+      if (c == ')' && --depth == 0) break;
+      if (c == ':' && depth == 1) {
+        const bool double_colon =
+            (j + 1 < line.size() && line[j + 1] == ':') ||
+            (j > 0 && line[j - 1] == ':');
+        if (!double_colon) {
+          colon = j;
+          break;
+        }
+      }
+    }
+    if (colon == npos) continue;
+    const std::string range = line.substr(colon + 1);
+    for (const std::string& name : unordered_names) {
+      if (find_word(range, name) != npos) {
+        lint.report(static_cast<int>(i) + 1, "unordered-iter",
+                    "iterating '" + name +
+                        "' (unordered container) has unspecified order; "
+                        "sort first, or allow() with a justification that "
+                        "the consumer is order-independent");
+        break;
+      }
+    }
+  }
+}
+
+void rule_bare_assert(Linter& lint) {
+  if (!lint.in_src) return;
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    if (word_followed_by(lint.scrubbed.code[i], "assert", '(')) {
+      lint.report(static_cast<int>(i) + 1, "bare-assert",
+                  "assert() vanishes under NDEBUG (the default build); use "
+                  "MEMFP_CHECK or MEMFP_DCHECK from common/check.h");
+    }
+  }
+}
+
+void rule_naked_new(Linter& lint) {
+  if (!lint.in_src) return;
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    const int n = static_cast<int>(i) + 1;
+    const std::size_t at_new = find_word(line, "new");
+    if (at_new != npos) {
+      lint.report(n, "naked-new",
+                  "naked new; use std::make_unique/std::make_shared or a "
+                  "container");
+    }
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t at = find_word(line, "delete", from);
+      if (at == npos) break;
+      const char prev = prev_nonspace(line, at);
+      const bool deleted_fn = prev == '=';  // = delete;
+      // operator delete declarations: previous word is "operator".
+      std::size_t back = at;
+      while (back > 0 && line[back - 1] == ' ') --back;
+      const bool op_decl =
+          back >= 8 && line.compare(back - 8, 8, "operator") == 0;
+      if (!deleted_fn && !op_decl) {
+        lint.report(n, "naked-new",
+                    "naked delete; owning pointers belong in "
+                    "std::unique_ptr");
+        break;
+      }
+      from = at + 1;
+    }
+  }
+}
+
+void rule_thread_spawn(Linter& lint) {
+  if (!lint.in_src) return;
+  if (lint.path == "src/common/thread_pool.h" ||
+      lint.path == "src/common/thread_pool.cc") {
+    return;  // the pool is the one sanctioned thread owner
+  }
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t p = line.find("std::thread", from);
+      if (p == npos) break;
+      const std::size_t end = p + 11;
+      // std::thread::id / std::thread::hardware_concurrency and identifiers
+      // like std::thread_pool are not spawns.
+      if (end >= line.size() ||
+          (line[end] != ':' && !ident_char(line[end]))) {
+        lint.report(static_cast<int>(i) + 1, "thread-spawn",
+                    "std::thread outside common/thread_pool.*; all "
+                    "parallelism goes through ThreadPool so determinism "
+                    "and shutdown stay centralized");
+        break;
+      }
+      from = p + 1;
+    }
+  }
+}
+
+void rule_pragma_once(Linter& lint) {
+  if (!lint.header || !(lint.in_src || lint.in_tests || lint.in_bench)) {
+    return;
+  }
+  int first_code_line = 1;
+  bool seen_code = false;
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    std::size_t j = 0;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (line.compare(j, 7, "#pragma") == 0 &&
+        line.find("once", j) != npos) {
+      return;
+    }
+    if (!seen_code && j < line.size()) {
+      seen_code = true;
+      first_code_line = static_cast<int>(i) + 1;
+    }
+  }
+  // Anchor at the first code line so a suppression comment above it works.
+  lint.report(first_code_line, "pragma-once",
+              "header is missing #pragma once");
+}
+
+struct BannedInclude {
+  const char* name;
+  bool headers_only;
+  const char* why;
+};
+
+void rule_banned_include(Linter& lint) {
+  if (!lint.in_src) return;
+  static const BannedInclude kBanned[] = {
+      {"random", false,
+       "<random> distributions are implementation-defined; use "
+       "memfp::Rng (common/rng.h)"},
+      {"cassert", false,
+       "<cassert> is stripped in release builds; use common/check.h"},
+      {"assert.h", false,
+       "<assert.h> is stripped in release builds; use common/check.h"},
+      {"ctime", false,
+       "<ctime> is wall-clock; the library runs on SimTime "
+       "(common/time.h)"},
+      {"iostream", true,
+       "<iostream> in a header drags iostream static initializers into "
+       "every TU; log via common/logging.h"},
+  };
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    std::size_t j = 0;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (line.compare(j, 8, "#include") != 0) continue;
+    const std::size_t open = line.find('<', j);
+    const std::size_t close = line.find('>', open == npos ? j : open);
+    if (open == npos || close == npos) continue;
+    const std::string included = line.substr(open + 1, close - open - 1);
+    for (const BannedInclude& banned : kBanned) {
+      if (included == banned.name && (!banned.headers_only || lint.header)) {
+        lint.report(static_cast<int>(i) + 1, "banned-include",
+                    "#include <" + included + "> is banned: " + banned.why);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "unseeded-random", "wall-clock",  "unordered-iter", "bare-assert",
+      "naked-new",       "thread-spawn", "pragma-once",    "banned-include",
+  };
+  return kNames;
+}
+
+std::vector<Violation> lint_source(std::string_view path,
+                                   std::string_view content) {
+  Linter lint;
+  lint.path = std::filesystem::path(std::string(path)).generic_string();
+  if (lint.path.starts_with("./")) lint.path.erase(0, 2);
+  lint.header = lint.path.ends_with(".h");
+  lint.in_src = lint.path.starts_with("src/");
+  lint.in_tests = lint.path.starts_with("tests/");
+  lint.in_bench = lint.path.starts_with("bench/");
+  lint.scrubbed = scrub(content);
+
+  collect_allows(lint);
+  rule_unseeded_random(lint);
+  rule_wall_clock(lint);
+  rule_unordered_iter(lint);
+  rule_bare_assert(lint);
+  rule_naked_new(lint);
+  rule_thread_spawn(lint);
+  rule_pragma_once(lint);
+  rule_banned_include(lint);
+
+  for (const Allow& allow : lint.allows) {
+    if (!allow.used) {
+      lint.violations.push_back(
+          {lint.path, allow.line, "unused-allow",
+           "allow(" + allow.rule +
+               ") suppresses nothing on this or the next line; delete the "
+               "stale waiver"});
+    }
+  }
+  std::sort(lint.violations.begin(), lint.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return lint.violations;
+}
+
+std::vector<Violation> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> all;
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tests", "bench"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel =
+        fs::proximate(file, root).generic_string();
+    std::vector<Violation> one = lint_source(rel, buffer.str());
+    all.insert(all.end(), std::make_move_iterator(one.begin()),
+               std::make_move_iterator(one.end()));
+  }
+  return all;
+}
+
+std::string format(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace memfp::lint

@@ -1,0 +1,77 @@
+// memfp-lint: in-tree static analysis for the project's determinism and
+// hygiene invariants.
+//
+// The reproducibility contract (DESIGN.md "Threading model": byte-identical
+// results at any thread count, same seed => same Table II numbers) only
+// holds if nobody reintroduces a nondeterminism source — an unseeded
+// std::mt19937, a wall-clock read, an unordered-container iteration feeding
+// model output. Those rules used to live in prose; this analyzer makes them
+// machine-checked and runs as the `lint` ctest target.
+//
+// Deliberately a lightweight lexer, not a compiler frontend: it blanks
+// comments, string/char literals and raw strings, then pattern-matches
+// tokens per line. That is enough for every rule below, costs nothing to
+// build (no libclang), and works on the test fixtures embedded as raw
+// strings in tests/test_lint.cc.
+//
+// Rule catalog (see DESIGN.md "Static analysis & contracts"):
+//   unseeded-random  rand()/srand()/std::random_device/std::mt19937 outside
+//                    src/common/rng.* (scope: src/, tests/, bench/)
+//   wall-clock       chrono clock ::now(), time(), gettimeofday(), clock()
+//                    in model-affecting code (scope: src/)
+//   unordered-iter   range-for over a std::unordered_{map,set} declared in
+//                    the same file; iteration order is unspecified, so it
+//                    must not reach features, metrics or serialized output
+//                    without an ordering step (scope: src/)
+//   bare-assert      assert() in library code — vanishes under NDEBUG; use
+//                    MEMFP_CHECK / MEMFP_DCHECK (scope: src/)
+//   naked-new        new / delete expressions; use std::make_unique and
+//                    containers (scope: src/)
+//   thread-spawn     std::thread construction outside the pool; all
+//                    parallelism goes through common/thread_pool.h
+//                    (scope: src/ except src/common/thread_pool.*)
+//   pragma-once      every header starts its include guard with
+//                    #pragma once (scope: src/, tests/, bench/)
+//   banned-include   curated banned includes: <random>, <cassert>,
+//                    <assert.h>, <ctime> in src/; <iostream> in src/
+//                    headers (the logger owns the only stderr sink)
+//
+// Suppressions: a violation is waived by a comment on the same line or the
+// line directly above:
+//   // memfp-lint: allow(<rule>): <justification>
+// The justification is mandatory (missing-justification otherwise), the
+// rule name must exist (unknown-rule otherwise), and a suppression that
+// matches no violation is itself reported (unused-allow), so stale waivers
+// cannot accumulate.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memfp::lint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// All rule names the suppression parser accepts.
+const std::vector<std::string>& rule_names();
+
+/// Lints one translation unit. `path` must be the repo-relative path
+/// (e.g. "src/ml/gbdt.cc") — rule scoping keys off it; `content` is the
+/// file body. Returns violations in line order.
+std::vector<Violation> lint_source(std::string_view path,
+                                   std::string_view content);
+
+/// Walks src/, tests/ and bench/ under `root` (deterministic path order)
+/// and lints every .h/.cc file.
+std::vector<Violation> lint_tree(const std::string& root);
+
+/// "file:line: [rule] message" per violation, newline-terminated.
+std::string format(const std::vector<Violation>& violations);
+
+}  // namespace memfp::lint

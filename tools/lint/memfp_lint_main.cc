@@ -1,0 +1,19 @@
+// CLI for the in-tree analyzer: `memfp_lint <repo-root>` lints src/,
+// tests/ and bench/ and exits non-zero on any violation. Registered as the
+// `lint` ctest target, so `ctest` fails on a rule breach.
+#include <cstdio>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  const std::vector<memfp::lint::Violation> violations =
+      memfp::lint::lint_tree(root);
+  if (violations.empty()) {
+    std::printf("memfp-lint: clean\n");
+    return 0;
+  }
+  std::fputs(memfp::lint::format(violations).c_str(), stderr);
+  std::fprintf(stderr, "memfp-lint: %zu violation(s)\n", violations.size());
+  return 1;
+}

@@ -12,6 +12,17 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -B "$BUILD" -S "$ROOT"
 fi
+
+# Never record numbers from an instrumented build: sanitizers are 2-20x
+# slowdowns, so the "speedup" column would be garbage that silently poisons
+# the perf trajectory in BENCH_train.json.
+SANITIZE="$(grep -E '^MEMFP_SANITIZE:' "$BUILD/CMakeCache.txt" | cut -d= -f2-)"
+if [ -n "$SANITIZE" ]; then
+  echo "refusing to record benchmarks: $BUILD is a sanitizer build" \
+       "(MEMFP_SANITIZE=$SANITIZE); use a plain build dir" >&2
+  exit 1
+fi
+
 cmake --build "$BUILD" -j --target bench_micro
 
 RAW="$BUILD/bench_train_raw.json"
