@@ -95,6 +95,98 @@ void BM_FeatureExtractionPerDimm(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureExtractionPerDimm);
 
+// Storm-heavy single-DIMM trace: CE bursts (with storm events) over a long
+// horizon, so the observation window holds thousands of CEs for most ticks.
+// This is the worst case for per-tick window rescans and the headline
+// workload of BENCH_extract.json.
+sim::DimmTrace storm_trace(std::uint64_t seed, int storms, int ces_per_storm,
+                           SimTime horizon) {
+  Rng rng(seed);
+  sim::DimmTrace trace;
+  trace.id = 11;
+  std::vector<dram::CeEvent> ces;
+  for (int s = 0; s < storms; ++s) {
+    const SimTime start = rng.uniform_u64(static_cast<std::uint64_t>(horizon));
+    dram::MemEvent storm;
+    storm.time = start;
+    storm.type = dram::MemEventType::kCeStorm;
+    trace.events.push_back(storm);
+    for (int i = 0; i < ces_per_storm; ++i) {
+      dram::CeEvent ce;
+      ce.time = start + static_cast<SimTime>(rng.uniform_u64(hours(2)));
+      ce.coord = {static_cast<int>(rng.uniform_u64(2)),
+                  static_cast<int>(rng.uniform_u64(18)),
+                  static_cast<int>(rng.uniform_u64(16)),
+                  static_cast<int>(rng.uniform_u64(1 << 17)),
+                  static_cast<int>(rng.uniform_u64(1 << 10))};
+      const int dq = static_cast<int>(rng.uniform_u64(72));
+      ce.pattern.add({static_cast<std::uint8_t>(dq),
+                      static_cast<std::uint8_t>(rng.uniform_u64(8))});
+      if (rng.bernoulli(0.3)) {
+        ce.pattern.add({static_cast<std::uint8_t>((dq + 4) % 72),
+                        static_cast<std::uint8_t>(rng.uniform_u64(8))});
+      }
+      ces.push_back(ce);
+    }
+  }
+  std::sort(ces.begin(), ces.end(),
+            [](const dram::CeEvent& a, const dram::CeEvent& b) {
+              return a.time < b.time;
+            });
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const dram::MemEvent& a, const dram::MemEvent& b) {
+              return a.time < b.time;
+            });
+  trace.ces = std::move(ces);
+  return trace;
+}
+
+// Batch extraction over a storm-heavy 5k-tick trace (hourly cadence). The
+// BENCH_extract.json speedup row compares this against the pre-incremental
+// extractor, which rescanned the full observation window every tick.
+void BM_Extract(benchmark::State& state) {
+  features::PredictionWindows windows;
+  windows.cadence = kHour;
+  const SimTime horizon = hours(5000);
+  const features::FeatureExtractor extractor(windows);
+  const sim::DimmTrace trace = storm_trace(41, 40, 250, horizon - days(6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.extract(trace, horizon));
+  }
+}
+BENCHMARK(BM_Extract)->Unit(benchmark::kMillisecond);
+
+// Repeated per-DIMM online scoring: one DIMM's features served at 200
+// successive timestamps, the access pattern of OnlinePredictionService::
+// run_over and of threshold sweeps. Uses the streaming serving path (one
+// persistent OnlineExtractorState, telemetry fed as it arrives) — the
+// BENCH_extract.json speedup row compares this against the pre-incremental
+// features_at, which deep-copied the trace and rebuilt an extractor per call.
+void BM_FeaturesAt(benchmark::State& state) {
+  const features::FeatureExtractor extractor;
+  const SimTime horizon = hours(5000);
+  const sim::DimmTrace trace = storm_trace(43, 40, 100, horizon - days(6));
+  std::vector<float> features;
+  for (auto _ : state) {
+    features::OnlineExtractorState stream =
+        extractor.open_stream(trace.config, trace.workload);
+    std::size_t next_ce = 0;
+    std::size_t next_event = 0;
+    for (SimTime t = hours(24); t <= horizon; t += hours(25)) {
+      while (next_ce < trace.ces.size() && trace.ces[next_ce].time <= t) {
+        stream.observe_ce(trace.ces[next_ce++]);
+      }
+      while (next_event < trace.events.size() &&
+             trace.events[next_event].time <= t) {
+        stream.observe_event(trace.events[next_event++]);
+      }
+      stream.features_at(t, features);
+      benchmark::DoNotOptimize(features);
+    }
+  }
+}
+BENCHMARK(BM_FeaturesAt)->Unit(benchmark::kMillisecond);
+
 ml::Dataset bench_dataset(std::size_t rows) {
   Rng rng(4);
   ml::Dataset d;
@@ -177,6 +269,35 @@ void BM_ForestTrain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestTrain)->Unit(benchmark::kMillisecond);
+
+// Dense gemm kernels at FT-Transformer shapes (batch*tokens x d_model). The
+// inputs are fully dense, the common case in training — the kernels must not
+// pay for sparse-input branches here.
+void BM_Gemm(benchmark::State& state) {
+  Rng rng(10);
+  const std::size_t m = 256, k = 64, n = 64;
+  const ml::Tensor a = ml::Tensor::random_uniform(m, k, 0.5f, rng);
+  const ml::Tensor b = ml::Tensor::random_uniform(k, n, 0.5f, rng);
+  ml::Tensor out(m, n);
+  for (auto _ : state) {
+    ml::gemm(a, b, out, /*accumulate=*/true);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Gemm)->Unit(benchmark::kMicrosecond);
+
+void BM_GemmBt(benchmark::State& state) {
+  Rng rng(11);
+  const std::size_t m = 256, k = 64, n = 64;
+  const ml::Tensor a = ml::Tensor::random_uniform(m, k, 0.5f, rng);
+  const ml::Tensor b = ml::Tensor::random_uniform(n, k, 0.5f, rng);
+  ml::Tensor out(m, n);
+  for (auto _ : state) {
+    ml::gemm_bt(a, b, out, /*accumulate=*/true);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GemmBt)->Unit(benchmark::kMicrosecond);
 
 void BM_AttentionForward(benchmark::State& state) {
   Rng rng(8);

@@ -105,30 +105,52 @@ Experiment::Experiment(const sim::FleetTrace& fleet, PipelineConfig config)
         .push_back(dimm);
   }
 
-  // Build the training set: extract per DIMM, downsample immediately.
+  // Build the training set: extract per DIMM in parallel blocks, then
+  // downsample serially in DIMM order. Extraction draws no RNG, so the
+  // parallel fan-out cannot disturb sample_rng's draw sequence and the
+  // training set stays byte-identical at any thread count; block-at-a-time
+  // keeps peak memory at one block of undownsampled DIMMs.
   features::SampleSet set;
   set.schema = train_extractor_.schema();
   Rng sample_rng = rng.fork();
-  for (const sim::DimmTrace* dimm : train_dimms_) {
-    std::vector<features::Sample> samples =
-        train_extractor_.extract(*dimm, fleet.horizon);
-    // Per-DIMM downsampling before pooling keeps memory flat.
-    std::vector<features::Sample> positives, negatives;
-    for (features::Sample& sample : samples) {
-      if (sample.label == 1) positives.push_back(std::move(sample));
-      else if (sample.label == 0) negatives.push_back(std::move(sample));
+  {
+    ThreadPool::ScopedLimit limit(config_.num_threads);
+    constexpr std::size_t kExtractBlock = 32;
+    std::vector<std::vector<features::Sample>> block(kExtractBlock);
+    for (std::size_t begin = 0; begin < train_dimms_.size();
+         begin += kExtractBlock) {
+      const std::size_t count =
+          std::min(kExtractBlock, train_dimms_.size() - begin);
+      ThreadPool::global().parallel_for(
+          count,
+          [&](std::size_t i) {
+            block[i] =
+                train_extractor_.extract(*train_dimms_[begin + i],
+                                         fleet.horizon);
+          },
+          /*grain=*/1);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::vector<features::Sample> samples = std::move(block[i]);
+        block[i].clear();
+        // Per-DIMM downsampling before pooling keeps memory flat.
+        std::vector<features::Sample> positives, negatives;
+        for (features::Sample& sample : samples) {
+          if (sample.label == 1) positives.push_back(std::move(sample));
+          else if (sample.label == 0) negatives.push_back(std::move(sample));
+        }
+        if (negatives.size() > config_.max_negatives_per_dimm) {
+          sample_rng.shuffle(negatives);
+          negatives.resize(config_.max_negatives_per_dimm);
+        }
+        if (positives.size() > config_.max_positives_per_dimm) {
+          positives.erase(positives.begin(),
+                          positives.end() - static_cast<std::ptrdiff_t>(
+                                                config_.max_positives_per_dimm));
+        }
+        for (auto& sample : negatives) set.samples.push_back(std::move(sample));
+        for (auto& sample : positives) set.samples.push_back(std::move(sample));
+      }
     }
-    if (negatives.size() > config_.max_negatives_per_dimm) {
-      sample_rng.shuffle(negatives);
-      negatives.resize(config_.max_negatives_per_dimm);
-    }
-    if (positives.size() > config_.max_positives_per_dimm) {
-      positives.erase(positives.begin(),
-                      positives.end() - static_cast<std::ptrdiff_t>(
-                                            config_.max_positives_per_dimm));
-    }
-    for (auto& sample : negatives) set.samples.push_back(std::move(sample));
-    for (auto& sample : positives) set.samples.push_back(std::move(sample));
   }
   train_set_ = ml::make_dataset(set);
   if (!config_.active_features.empty()) {

@@ -1,117 +1,9 @@
 #include "features/extractor.h"
 
 #include <algorithm>
-#include <cmath>
-#include <iterator>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "dram/ecc.h"
+#include <utility>
 
 namespace memfp::features {
-namespace {
-
-float log1pf_clamped(double value) {
-  return static_cast<float>(std::log1p(std::max(0.0, value)));
-}
-
-std::uint64_t pack_cell(const dram::CellCoord& c) {
-  return (static_cast<std::uint64_t>(c.rank) << 56) |
-         (static_cast<std::uint64_t>(c.device & 0xff) << 48) |
-         (static_cast<std::uint64_t>(c.bank & 0xff) << 40) |
-         (static_cast<std::uint64_t>(c.row & 0xffffff) << 16) |
-         static_cast<std::uint64_t>(c.column & 0xffff);
-}
-
-/// Lifetime fault structure, updated one CE at a time. Mirrors
-/// infer_faults() but amortized across the trace walk.
-class LifetimeState {
- public:
-  explicit LifetimeState(const FaultThresholds& thresholds)
-      : thresholds_(thresholds) {}
-
-  void add(const dram::CeEvent& ce, const dram::Geometry& geometry) {
-    const dram::CellCoord& c = ce.coord;
-    const std::uint64_t cell = pack_cell(c);
-    if (++cell_counts_[cell] == thresholds_.cell_repeat) ++cell_faults_;
-
-    const std::uint64_t row = cell >> 16;
-    auto& row_cols = row_columns_[row];
-    if (row_cols.insert(c.column).second &&
-        static_cast<int>(row_cols.size()) == thresholds_.row_columns) {
-      ++row_faults_;
-    }
-
-    const std::uint64_t col =
-        (cell & 0xffffff000000ffffULL) | 0xff0000ULL;  // row wildcarded
-    auto& col_rows = column_rows_[col];
-    if (col_rows.insert(c.row).second &&
-        static_cast<int>(col_rows.size()) == thresholds_.column_rows) {
-      ++column_faults_;
-    }
-
-    const std::uint64_t bank = cell >> 40;
-    auto& bank_state = banks_[bank];
-    bank_state.rows.insert(c.row);
-    bank_state.columns.insert(c.column);
-    if (!bank_state.counted &&
-        static_cast<int>(bank_state.rows.size()) >= thresholds_.bank_rows &&
-        static_cast<int>(bank_state.columns.size()) >=
-            thresholds_.bank_columns) {
-      bank_state.counted = true;
-      ++bank_faults_;
-    }
-
-    const int device = (c.rank << 8) | c.device;
-    if (++device_counts_[device] == thresholds_.device_min_ces) {
-      ++faulty_devices_;
-    }
-    devices_seen_.insert(device);
-
-    acc_pattern_.merge(ce.pattern);
-    if (first_ce_ < 0) first_ce_ = ce.time;
-    last_ce_ = ce.time;
-    ++total_ces_;
-    (void)geometry;
-  }
-
-  int cell_faults() const { return cell_faults_; }
-  int row_faults() const { return row_faults_; }
-  int column_faults() const { return column_faults_; }
-  int bank_faults() const { return bank_faults_; }
-  int faulty_devices() const { return faulty_devices_; }
-  int devices_seen() const { return static_cast<int>(devices_seen_.size()); }
-  const dram::ErrorPattern& pattern() const { return acc_pattern_; }
-  SimTime first_ce() const { return first_ce_; }
-  SimTime last_ce() const { return last_ce_; }
-  std::uint64_t total_ces() const { return total_ces_; }
-
- private:
-  struct BankState {
-    std::unordered_set<int> rows;
-    std::unordered_set<int> columns;
-    bool counted = false;
-  };
-
-  FaultThresholds thresholds_;
-  int cell_faults_ = 0;
-  int row_faults_ = 0;
-  int column_faults_ = 0;
-  int bank_faults_ = 0;
-  int faulty_devices_ = 0;
-  std::unordered_map<std::uint64_t, int> cell_counts_;
-  std::unordered_map<std::uint64_t, std::unordered_set<int>> row_columns_;
-  std::unordered_map<std::uint64_t, std::unordered_set<int>> column_rows_;
-  std::unordered_map<std::uint64_t, BankState> banks_;
-  std::unordered_map<int, int> device_counts_;
-  std::unordered_set<int> devices_seen_;
-  dram::ErrorPattern acc_pattern_;
-  SimTime first_ce_ = -1;
-  SimTime last_ce_ = -1;
-  std::uint64_t total_ces_ = 0;
-};
-
-}  // namespace
 
 FeatureExtractor::FeatureExtractor(PredictionWindows windows,
                                    FaultThresholds thresholds)
@@ -124,210 +16,33 @@ std::vector<Sample> FeatureExtractor::extract(const sim::DimmTrace& trace,
   std::vector<Sample> samples;
   if (trace.ces.empty()) return samples;
 
-  const dram::Geometry geometry = trace.config.geometry();
   // Samples stop strictly before the UE: the DIMM is retired at that point.
   const SimTime end =
       trace.ue ? std::min(horizon, trace.ue->time - 1) : horizon;
 
-  LifetimeState lifetime(thresholds_);
-  std::size_t window_begin = 0;  // first CE with time > t - observation
-  std::size_t consumed = 0;      // CEs with time <= t folded into lifetime
-  std::size_t storm_begin = 0;   // first storm event with time > t - obs
-  std::size_t storm_end = 0;     // first storm event with time > t
-
+  OnlineExtractorState state(windows_, thresholds_, trace.config,
+                             trace.workload, schema_.size());
+  std::size_t next_ce = 0;
+  std::size_t next_event = 0;
+  std::vector<float> features;
   for (SimTime t = windows_.cadence; t <= end; t += windows_.cadence) {
-    // Fold newly visible CEs into the lifetime state.
-    while (consumed < trace.ces.size() && trace.ces[consumed].time <= t) {
-      lifetime.add(trace.ces[consumed], geometry);
-      ++consumed;
+    while (next_ce < trace.ces.size() && trace.ces[next_ce].time <= t) {
+      state.observe_ce(trace.ces[next_ce]);
+      ++next_ce;
     }
-    const SimTime window_start = t - windows_.observation;
-    while (window_begin < consumed &&
-           trace.ces[window_begin].time <= window_start) {
-      ++window_begin;
+    while (next_event < trace.events.size() &&
+           trace.events[next_event].time <= t) {
+      state.observe_event(trace.events[next_event]);
+      ++next_event;
     }
-    while (storm_end < trace.events.size() &&
-           trace.events[storm_end].time <= t) {
-      ++storm_end;
-    }
-    while (storm_begin < storm_end &&
-           trace.events[storm_begin].time <= window_start) {
-      ++storm_begin;
-    }
-
-    const std::size_t window_size = consumed - window_begin;
-    if (window_size == 0) continue;  // no CE in the observation window
+    state.features_at(t, features);
+    if (features.empty()) continue;  // no CE in the observation window
 
     Sample sample;
     sample.dimm = trace.id;
     sample.time = t;
     sample.label = trace.ue ? windows_.label_for(t, trace.ue->time) : 0;
-    sample.features.assign(schema_.size(), 0.0f);
-    auto& f = sample.features;
-    std::size_t k = 0;
-
-    // ---- Temporal ----
-    std::uint64_t count_1h = 0, count_6h = 0, count_1d = 0, count_3d = 0;
-    SimTime prev = -1;
-    double inter_sum = 0.0, inter_sq = 0.0, inter_min = 1e18;
-    std::size_t inter_n = 0;
-    std::unordered_set<int> active_days;
-    for (std::size_t i = window_begin; i < consumed; ++i) {
-      const SimTime ce_time = trace.ces[i].time;
-      const SimTime age = t - ce_time;
-      count_1h += age <= kHour;
-      count_6h += age <= hours(6);
-      count_1d += age <= kDay;
-      count_3d += age <= days(3);
-      active_days.insert(static_cast<int>(ce_time / kDay));
-      if (prev >= 0) {
-        const double gap_h = static_cast<double>(ce_time - prev) /
-                             static_cast<double>(kHour);
-        inter_sum += gap_h;
-        inter_sq += gap_h * gap_h;
-        inter_min = std::min(inter_min, gap_h);
-        ++inter_n;
-      }
-      prev = ce_time;
-    }
-    const std::uint64_t count_5d = window_size;
-    f[k++] = log1pf_clamped(static_cast<double>(count_1h));
-    f[k++] = log1pf_clamped(static_cast<double>(count_6h));
-    f[k++] = log1pf_clamped(static_cast<double>(count_1d));
-    f[k++] = log1pf_clamped(static_cast<double>(count_3d));
-    f[k++] = log1pf_clamped(static_cast<double>(count_5d));
-
-    int storms = 0, suppressions = 0;
-    for (std::size_t i = storm_begin; i < storm_end; ++i) {
-      storms += trace.events[i].type == dram::MemEventType::kCeStorm;
-      suppressions +=
-          trace.events[i].type == dram::MemEventType::kCeStormSuppressed;
-    }
-    f[k++] = static_cast<float>(storms);
-    f[k++] = static_cast<float>(suppressions);
-
-    const double inter_mean = inter_n > 0 ? inter_sum / inter_n : 120.0;
-    const double inter_var =
-        inter_n > 1 ? std::max(0.0, inter_sq / inter_n - inter_mean * inter_mean)
-                    : 0.0;
-    f[k++] = log1pf_clamped(inter_mean);
-    f[k++] = log1pf_clamped(inter_n > 0 ? inter_min : 120.0);
-    f[k++] = static_cast<float>(
-        inter_mean > 0.0 ? std::sqrt(inter_var) / inter_mean : 0.0);
-    f[k++] = static_cast<float>(
-        std::log1p(static_cast<double>(count_1d)) -
-        std::log1p(static_cast<double>(count_5d) / 5.0));
-    f[k++] = static_cast<float>(
-        static_cast<double>(t - lifetime.first_ce()) /
-        static_cast<double>(kDay));
-    f[k++] = static_cast<float>(
-        static_cast<double>(t - lifetime.last_ce()) /
-        static_cast<double>(kHour));
-    f[k++] = log1pf_clamped(static_cast<double>(lifetime.total_ces()));
-    f[k++] = static_cast<float>(active_days.size());
-
-    // ---- Spatial (window structure + lifetime fault inference) ----
-    std::unordered_set<std::uint64_t> cells, rows, cols, banks;
-    std::unordered_map<int, int> window_devices;
-    std::unordered_map<std::uint64_t, int> row_ces;
-    for (std::size_t i = window_begin; i < consumed; ++i) {
-      const std::uint64_t cell = pack_cell(trace.ces[i].coord);
-      cells.insert(cell);
-      const std::uint64_t row = cell >> 16;
-      rows.insert(row);
-      cols.insert((cell & 0xffffff000000ffffULL));
-      banks.insert(cell >> 40);
-      ++window_devices[(trace.ces[i].coord.rank << 8) |
-                       trace.ces[i].coord.device];
-      ++row_ces[row];
-    }
-    int dominant = 0;
-    // memfp-lint: allow(unordered-iter): max() is order-independent
-    for (const auto& [device, count] : window_devices) {
-      dominant = std::max(dominant, count);
-    }
-    int max_row = 0;
-    // memfp-lint: allow(unordered-iter): max() is order-independent
-    for (const auto& [row, count] : row_ces) max_row = std::max(max_row, count);
-
-    f[k++] = log1pf_clamped(static_cast<double>(cells.size()));
-    f[k++] = log1pf_clamped(static_cast<double>(rows.size()));
-    f[k++] = log1pf_clamped(static_cast<double>(cols.size()));
-    f[k++] = log1pf_clamped(static_cast<double>(banks.size()));
-    f[k++] = static_cast<float>(window_devices.size());
-    f[k++] = static_cast<float>(lifetime.devices_seen());
-    f[k++] = static_cast<float>(window_size > 0 ? static_cast<double>(dominant) /
-                                                      static_cast<double>(window_size)
-                                                : 0.0);
-    f[k++] = log1pf_clamped(lifetime.cell_faults());
-    f[k++] = log1pf_clamped(lifetime.row_faults());
-    f[k++] = log1pf_clamped(lifetime.column_faults());
-    f[k++] = log1pf_clamped(lifetime.bank_faults());
-    f[k++] = lifetime.faulty_devices() >= 2 ? 1.0f : 0.0f;
-    f[k++] = lifetime.faulty_devices() == 1 ? 1.0f : 0.0f;
-    f[k++] = log1pf_clamped(max_row);
-
-    // ---- Bit-level ----
-    dram::ErrorPattern window_pattern;
-    int max_dq = 0, max_beats = 0, multibit = 0, cross_device = 0;
-    for (std::size_t i = window_begin; i < consumed; ++i) {
-      const dram::ErrorPattern& p = trace.ces[i].pattern;
-      window_pattern.merge(p);
-      max_dq = std::max(max_dq, p.dq_count());
-      max_beats = std::max(max_beats, p.beat_count());
-      multibit += p.bit_count() > 1;
-      cross_device += p.device_count(geometry) > 1;
-    }
-    const dram::ErrorPattern& life_pattern = lifetime.pattern();
-    f[k++] = static_cast<float>(window_pattern.dq_count());
-    f[k++] = static_cast<float>(window_pattern.beat_count());
-    f[k++] = static_cast<float>(window_pattern.max_dq_interval());
-    f[k++] = static_cast<float>(window_pattern.max_beat_interval());
-    f[k++] = static_cast<float>(window_pattern.beat_span());
-    f[k++] = static_cast<float>(life_pattern.dq_count());
-    f[k++] = static_cast<float>(life_pattern.beat_count());
-    f[k++] = static_cast<float>(life_pattern.max_beat_interval());
-    f[k++] = static_cast<float>(life_pattern.beat_span());
-    f[k++] = log1pf_clamped(static_cast<double>(life_pattern.bit_count()));
-    f[k++] = static_cast<float>(max_dq);
-    f[k++] = static_cast<float>(max_beats);
-    f[k++] = static_cast<float>(static_cast<double>(multibit) /
-                                static_cast<double>(window_size));
-    f[k++] = log1pf_clamped(cross_device);
-    // Risky accumulated shapes (per-device for the Purley rule).
-    bool purley_risky = false;
-    {
-      // Evaluate the single-chip weak shape within each device.
-      std::unordered_map<int, dram::ErrorPattern> per_device;
-      for (const dram::ErrorBit& bit : life_pattern.bits()) {
-        per_device[geometry.device_of_dq(bit.dq)].add(bit);
-      }
-      // memfp-lint: allow(unordered-iter): any-of match; the bool result
-      for (const auto& [device, pattern] : per_device) {
-        if (pattern.dq_count() >= 2 && pattern.beat_count() >= 2 &&
-            pattern.beat_span() >= 4) {
-          purley_risky = true;
-          break;
-        }
-      }
-    }
-    f[k++] = purley_risky ? 1.0f : 0.0f;
-    f[k++] = life_pattern.dq_count() >= 4 && life_pattern.beat_count() >= 5
-                 ? 1.0f
-                 : 0.0f;
-
-    // ---- Static ----
-    f[k++] = static_cast<float>(trace.config.manufacturer);
-    f[k++] = static_cast<float>(trace.config.process);
-    f[k++] = static_cast<float>(trace.config.frequency_mhz) / 1000.0f;
-    f[k++] = static_cast<float>(trace.config.capacity_gib);
-    f[k++] = static_cast<float>(trace.config.width);
-
-    // ---- Workload ----
-    f[k++] = trace.workload.cpu_utilization;
-    f[k++] = trace.workload.memory_utilization;
-    f[k++] = trace.workload.read_write_ratio;
-
+    sample.features = features;
     samples.push_back(std::move(sample));
   }
   return samples;
@@ -335,30 +50,26 @@ std::vector<Sample> FeatureExtractor::extract(const sim::DimmTrace& trace,
 
 std::vector<float> FeatureExtractor::features_at(const sim::DimmTrace& trace,
                                                  SimTime t) const {
-  // Build a truncated view of the trace and reuse the batch path. This keeps
-  // the online serving path byte-identical to training extraction (the
-  // feature-store "consistency" property the paper's MLOps section demands).
-  sim::DimmTrace truncated;
-  truncated.id = trace.id;
-  truncated.server_id = trace.server_id;
-  truncated.platform = trace.platform;
-  truncated.config = trace.config;
-  truncated.workload = trace.workload;
-  truncated.ces.reserve(trace.ces.size());
-  std::copy_if(trace.ces.begin(), trace.ces.end(),
-               std::back_inserter(truncated.ces),
-               [&](const dram::CeEvent& ce) { return ce.time <= t; });
-  truncated.events.reserve(trace.events.size());
-  std::copy_if(trace.events.begin(), trace.events.end(),
-               std::back_inserter(truncated.events),
-               [&](const dram::MemEvent& event) { return event.time <= t; });
+  if (t <= 0) return {};
+  // One-shot query: replay the trace prefix into a fresh streaming state.
+  // No trace copy, no throwaway extractor — but repeated queries against the
+  // same DIMM should hold an open_stream() state instead.
+  OnlineExtractorState state = open_stream(trace.config, trace.workload);
+  for (const dram::CeEvent& ce : trace.ces) {
+    if (ce.time > t) break;
+    state.observe_ce(ce);
+  }
+  for (const dram::MemEvent& event : trace.events) {
+    if (event.time > t) break;
+    state.observe_event(event);
+  }
+  return state.features_at(t);
+}
 
-  PredictionWindows point = windows_;
-  point.cadence = std::max<SimDuration>(t, 1);
-  FeatureExtractor one_shot(point, thresholds_);
-  std::vector<Sample> samples = one_shot.extract(truncated, t);
-  if (samples.empty()) return {};
-  return std::move(samples.front().features);
+OnlineExtractorState FeatureExtractor::open_stream(
+    const dram::DimmConfig& config, const sim::WorkloadStats& workload) const {
+  return OnlineExtractorState(windows_, thresholds_, config, workload,
+                              schema_.size());
 }
 
 }  // namespace memfp::features

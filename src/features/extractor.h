@@ -1,9 +1,12 @@
 // Feature extraction over a DIMM's telemetry trace.
 //
-// Walks the trace once per DIMM, emitting one sample per cadence tick while
-// the trailing observation window contains at least one CE. All state that
-// spans the lifetime (fault-structure maps, accumulated bit maps) is updated
-// incrementally, so extraction is O(events + samples * window) per DIMM.
+// Extraction is built on the incremental sliding-window engine in
+// window_state.h: one persistent OnlineExtractorState per DIMM folds each CE
+// exactly once and evicts it exactly once, so a full-trace extraction costs
+// O(events + samples) amortized instead of rescanning the observation window
+// at every cadence tick. The batch path (extract) and the streaming serving
+// path (open_stream / features_at) run the same engine, which keeps the
+// train/serve consistency property byte-exact.
 //
 // Leakage discipline: a sample at time t sees only events with time <= t.
 // The trace-level `suppressed_ce_count` is NOT a feature (it is filled in by
@@ -14,6 +17,7 @@
 #include "features/fault_inference.h"
 #include "features/sample.h"
 #include "features/schema.h"
+#include "features/window_state.h"
 #include "features/windows.h"
 #include "sim/trace.h"
 
@@ -31,9 +35,18 @@ class FeatureExtractor {
   std::vector<Sample> extract(const sim::DimmTrace& trace,
                               SimTime horizon) const;
 
-  /// Feature vector at one point in time (online serving path). Returns an
-  /// empty vector when the observation window holds no CE.
+  /// Feature vector at one point in time (one-shot serving path). Returns an
+  /// empty vector when the observation window holds no CE. Callers scoring
+  /// many timestamps of the same DIMM should hold an open_stream() state
+  /// instead — this entry point replays the trace prefix per call.
   std::vector<float> features_at(const sim::DimmTrace& trace, SimTime t) const;
+
+  /// Opens a persistent streaming extraction state for one DIMM (the online
+  /// serving path): feed telemetry with observe_ce / observe_event, query
+  /// with features_at(t) for non-decreasing t — no trace copies, no
+  /// extractor reconstruction, byte-identical to extract().
+  OnlineExtractorState open_stream(const dram::DimmConfig& config,
+                                   const sim::WorkloadStats& workload) const;
 
  private:
   FeatureSchema schema_;

@@ -1,0 +1,503 @@
+#include "features/window_state.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace memfp::features {
+namespace {
+
+float log1pf_clamped(double value) {
+  return static_cast<float>(std::log1p(std::max(0.0, value)));
+}
+
+}  // namespace
+
+// ---- SlidingCountMap --------------------------------------------------------
+
+void SlidingCountMap::increment(std::uint64_t key) {
+  int& count = counts_[key];
+  if (count > 0) --freq_[static_cast<std::size_t>(count)];
+  ++count;
+  if (static_cast<std::size_t>(count) >= freq_.size()) {
+    freq_.resize(static_cast<std::size_t>(count) + 1, 0);
+  }
+  ++freq_[static_cast<std::size_t>(count)];
+  max_ = std::max(max_, count);
+}
+
+void SlidingCountMap::decrement(std::uint64_t key) {
+  const auto it = counts_.find(key);
+  MEMFP_CHECK(it != counts_.end()) << "decrement of absent key";
+  const int count = it->second;
+  --freq_[static_cast<std::size_t>(count)];
+  if (count == 1) {
+    counts_.erase(it);
+  } else {
+    it->second = count - 1;
+    ++freq_[static_cast<std::size_t>(count - 1)];
+  }
+  // A single decrement lowers the maximum multiplicity by at most one.
+  if (count == max_ && freq_[static_cast<std::size_t>(count)] == 0) {
+    max_ = count - 1;
+  }
+}
+
+// ---- Axis statistics --------------------------------------------------------
+
+AxisStats axis_stats(const std::vector<int>& occupancy) {
+  AxisStats stats;
+  int first = -1;
+  int prev = -1;
+  for (int value = 0; value < static_cast<int>(occupancy.size()); ++value) {
+    if (occupancy[static_cast<std::size_t>(value)] == 0) continue;
+    ++stats.count;
+    if (first < 0) first = value;
+    if (prev >= 0) stats.max_interval = std::max(stats.max_interval, value - prev);
+    prev = value;
+  }
+  if (stats.count >= 2) stats.span = prev - first;
+  return stats;
+}
+
+// ---- WindowPatternState -----------------------------------------------------
+
+WindowPatternState::WindowPatternState(const dram::Geometry& geometry)
+    : beats_(geometry.beats),
+      bit_counts_(static_cast<std::size_t>(geometry.total_dq()) *
+                      static_cast<std::size_t>(geometry.beats),
+                  0),
+      dq_occupancy_(static_cast<std::size_t>(geometry.total_dq()), 0),
+      beat_occupancy_(static_cast<std::size_t>(geometry.beats), 0) {}
+
+void WindowPatternState::add(const std::vector<dram::ErrorBit>& bits) {
+  for (const dram::ErrorBit& bit : bits) {
+    const std::size_t dq = bit.dq;
+    const std::size_t beat = bit.beat;
+    MEMFP_CHECK(dq < dq_occupancy_.size() && beat < beat_occupancy_.size())
+        << "error bit outside transfer geometry";
+    if (++bit_counts_[dq * static_cast<std::size_t>(beats_) + beat] == 1) {
+      ++dq_occupancy_[dq];
+      ++beat_occupancy_[beat];
+    }
+  }
+}
+
+void WindowPatternState::remove(const std::vector<dram::ErrorBit>& bits) {
+  for (const dram::ErrorBit& bit : bits) {
+    const std::size_t dq = bit.dq;
+    const std::size_t beat = bit.beat;
+    if (--bit_counts_[dq * static_cast<std::size_t>(beats_) + beat] == 0) {
+      --dq_occupancy_[dq];
+      --beat_occupancy_[beat];
+    }
+  }
+}
+
+// ---- LifetimePatternState ---------------------------------------------------
+
+LifetimePatternState::LifetimePatternState(const dram::Geometry& geometry)
+    : geometry_(geometry),
+      beats_(geometry.beats),
+      bit_seen_(static_cast<std::size_t>(geometry.total_dq()) *
+                    static_cast<std::size_t>(geometry.beats),
+                0),
+      dq_occupancy_(static_cast<std::size_t>(geometry.total_dq()), 0),
+      beat_occupancy_(static_cast<std::size_t>(geometry.beats), 0),
+      device_dq_mask_(static_cast<std::size_t>(geometry.devices_per_rank()), 0),
+      device_beat_mask_(static_cast<std::size_t>(geometry.devices_per_rank()),
+                        0) {}
+
+void LifetimePatternState::add(const dram::ErrorPattern& pattern) {
+  for (const dram::ErrorBit& bit : pattern.bits()) {
+    const std::size_t dq = bit.dq;
+    const std::size_t beat = bit.beat;
+    MEMFP_CHECK(dq < dq_occupancy_.size() && beat < beat_occupancy_.size())
+        << "error bit outside transfer geometry";
+    std::uint8_t& seen = bit_seen_[dq * static_cast<std::size_t>(beats_) + beat];
+    if (seen) continue;
+    seen = 1;
+    ++bit_count_;
+    ++dq_occupancy_[dq];
+    ++beat_occupancy_[beat];
+    stats_dirty_ = true;
+
+    // Per-device weak-shape latch (the Purley rule). Bits only accumulate,
+    // so once a device matches the shape the flag stays up.
+    const int device = geometry_.device_of_dq(static_cast<int>(dq));
+    const int lane = static_cast<int>(dq) - geometry_.device_dq_base(device);
+    std::uint32_t& dq_mask = device_dq_mask_[static_cast<std::size_t>(device)];
+    std::uint32_t& beat_mask =
+        device_beat_mask_[static_cast<std::size_t>(device)];
+    dq_mask |= 1u << lane;
+    beat_mask |= 1u << beat;
+    if (!purley_risky_ && std::popcount(dq_mask) >= 2 &&
+        std::popcount(beat_mask) >= 2) {
+      const int beat_span =
+          std::bit_width(beat_mask) - 1 - std::countr_zero(beat_mask);
+      if (beat_span >= 4) purley_risky_ = true;
+    }
+  }
+}
+
+AxisStats LifetimePatternState::dq_stats() const {
+  if (stats_dirty_) {
+    dq_stats_ = axis_stats(dq_occupancy_);
+    beat_stats_ = axis_stats(beat_occupancy_);
+    stats_dirty_ = false;
+  }
+  return dq_stats_;
+}
+
+AxisStats LifetimePatternState::beat_stats() const {
+  dq_stats();  // refresh both caches
+  return beat_stats_;
+}
+
+// ---- LifetimeState ----------------------------------------------------------
+
+LifetimeState::LifetimeState(const FaultThresholds& thresholds,
+                             const dram::Geometry& geometry)
+    : thresholds_(thresholds), pattern_(geometry) {}
+
+void LifetimeState::add(const dram::CeEvent& ce) {
+  const dram::CellCoord& c = ce.coord;
+  const std::uint64_t cell = pack_cell(c);
+  if (++cell_counts_[cell] == thresholds_.cell_repeat) ++cell_faults_;
+
+  const std::uint64_t row = cell >> 16;
+  auto& row_cols = row_columns_[row];
+  if (row_cols.insert(c.column).second &&
+      static_cast<int>(row_cols.size()) == thresholds_.row_columns) {
+    ++row_faults_;
+  }
+
+  const std::uint64_t col =
+      (cell & 0xffffff000000ffffULL) | 0xff0000ULL;  // row wildcarded
+  auto& col_rows = column_rows_[col];
+  if (col_rows.insert(c.row).second &&
+      static_cast<int>(col_rows.size()) == thresholds_.column_rows) {
+    ++column_faults_;
+  }
+
+  const std::uint64_t bank = cell >> 40;
+  auto& bank_state = banks_[bank];
+  bank_state.rows.insert(c.row);
+  bank_state.columns.insert(c.column);
+  if (!bank_state.counted &&
+      static_cast<int>(bank_state.rows.size()) >= thresholds_.bank_rows &&
+      static_cast<int>(bank_state.columns.size()) >= thresholds_.bank_columns) {
+    bank_state.counted = true;
+    ++bank_faults_;
+  }
+
+  const int device = (c.rank << 8) | c.device;
+  if (++device_counts_[device] == thresholds_.device_min_ces) {
+    ++faulty_devices_;
+  }
+  devices_seen_.insert(device);
+
+  pattern_.add(ce.pattern);
+  if (first_ce_ < 0) first_ce_ = ce.time;
+  last_ce_ = ce.time;
+  ++total_ces_;
+}
+
+// ---- WindowState ------------------------------------------------------------
+
+WindowState::WindowState(const PredictionWindows& windows,
+                         const dram::Geometry& geometry)
+    : windows_(windows),
+      geometry_(geometry),
+      pattern_(geometry),
+      dq_count_freq_(static_cast<std::size_t>(geometry.total_dq()) + 1, 0),
+      beat_count_freq_(static_cast<std::size_t>(geometry.beats) + 1, 0) {}
+
+void WindowState::add(const dram::CeEvent& ce) {
+  CeRecord rec;
+  rec.time = ce.time;
+  rec.cell = pack_cell(ce.coord);
+  rec.device = (ce.coord.rank << 8) | ce.coord.device;
+  rec.day = static_cast<int>(ce.time / kDay);
+  rec.dq_count = ce.pattern.dq_count();
+  rec.beat_count = ce.pattern.beat_count();
+  rec.multibit = ce.pattern.bit_count() > 1;
+  rec.cross_device = ce.pattern.device_count(geometry_) > 1;
+  rec.bits = ce.pattern.bits();
+
+  // Appending extends the interarrival fold with exactly the operation the
+  // rescanning extractor performs next, so a clean fold stays bit-exact.
+  if (!records_.empty()) {
+    MEMFP_CHECK_GE(rec.time, records_.back().time) << "CEs must be time-ordered";
+    const double gap_h = static_cast<double>(rec.time - records_.back().time) /
+                         static_cast<double>(kHour);
+    inter_sum_ += gap_h;
+    inter_sq_ += gap_h * gap_h;
+    inter_min_ = std::min(inter_min_, gap_h);
+  }
+
+  cells_.increment(rec.cell);
+  rows_.increment(rec.cell >> 16);
+  columns_.increment(rec.cell & 0xffffff000000ffffULL);
+  banks_.increment(rec.cell >> 40);
+  devices_.increment(static_cast<std::uint64_t>(rec.device));
+  row_ces_.increment(rec.cell >> 16);
+  days_.increment(static_cast<std::uint64_t>(rec.day));
+  pattern_.add(rec.bits);
+  ++dq_count_freq_[static_cast<std::size_t>(rec.dq_count)];
+  ++beat_count_freq_[static_cast<std::size_t>(rec.beat_count)];
+  max_dq_ub_ = std::max(max_dq_ub_, rec.dq_count);
+  max_beats_ub_ = std::max(max_beats_ub_, rec.beat_count);
+  multibit_ += rec.multibit;
+  cross_device_ += rec.cross_device;
+
+  records_.push_back(std::move(rec));
+  ++next_seq_;
+}
+
+void WindowState::add_event(const dram::MemEvent& event) {
+  if (event.type == dram::MemEventType::kCeStorm) {
+    storm_events_.emplace_back(event.time, false);
+    ++storms_;
+  } else if (event.type == dram::MemEventType::kCeStormSuppressed) {
+    storm_events_.emplace_back(event.time, true);
+    ++suppressions_;
+  }
+}
+
+void WindowState::advance(SimTime t) {
+  const SimTime window_start = t - windows_.observation;
+  while (!records_.empty() && records_.front().time <= window_start) {
+    const CeRecord& rec = records_.front();
+    cells_.decrement(rec.cell);
+    rows_.decrement(rec.cell >> 16);
+    columns_.decrement(rec.cell & 0xffffff000000ffffULL);
+    banks_.decrement(rec.cell >> 40);
+    devices_.decrement(static_cast<std::uint64_t>(rec.device));
+    row_ces_.decrement(rec.cell >> 16);
+    days_.decrement(static_cast<std::uint64_t>(rec.day));
+    pattern_.remove(rec.bits);
+    --dq_count_freq_[static_cast<std::size_t>(rec.dq_count)];
+    --beat_count_freq_[static_cast<std::size_t>(rec.beat_count)];
+    multibit_ -= rec.multibit;
+    cross_device_ -= rec.cross_device;
+    records_.pop_front();
+    ++front_seq_;
+    inter_dirty_ = true;  // the leading gap left the window
+  }
+  while (!storm_events_.empty() && storm_events_.front().first <= window_start) {
+    if (storm_events_.front().second) {
+      --suppressions_;
+    } else {
+      --storms_;
+    }
+    storm_events_.pop_front();
+  }
+
+  for (int sub = 0; sub < 4; ++sub) {
+    std::uint64_t seq = std::max(sub_seq_[sub], front_seq_);
+    const SimTime cutoff = t - kSubWindows[sub];
+    while (seq < next_seq_ &&
+           records_[static_cast<std::size_t>(seq - front_seq_)].time < cutoff) {
+      ++seq;
+    }
+    sub_seq_[sub] = seq;
+  }
+}
+
+void WindowState::finalize_interarrival() {
+  if (inter_dirty_) refold_interarrival();
+}
+
+void WindowState::refold_interarrival() {
+  inter_sum_ = 0.0;
+  inter_sq_ = 0.0;
+  inter_min_ = 1e18;
+  SimTime prev = -1;
+  for (const CeRecord& rec : records_) {
+    if (prev >= 0) {
+      const double gap_h =
+          static_cast<double>(rec.time - prev) / static_cast<double>(kHour);
+      inter_sum_ += gap_h;
+      inter_sq_ += gap_h * gap_h;
+      inter_min_ = std::min(inter_min_, gap_h);
+    }
+    prev = rec.time;
+  }
+  inter_dirty_ = false;
+}
+
+int WindowState::max_ce_dq_count() {
+  while (max_dq_ub_ > 0 &&
+         dq_count_freq_[static_cast<std::size_t>(max_dq_ub_)] == 0) {
+    --max_dq_ub_;
+  }
+  return max_dq_ub_;
+}
+
+int WindowState::max_ce_beat_count() {
+  while (max_beats_ub_ > 0 &&
+         beat_count_freq_[static_cast<std::size_t>(max_beats_ub_)] == 0) {
+    --max_beats_ub_;
+  }
+  return max_beats_ub_;
+}
+
+// ---- OnlineExtractorState ---------------------------------------------------
+
+OnlineExtractorState::OnlineExtractorState(const PredictionWindows& windows,
+                                           const FaultThresholds& thresholds,
+                                           const dram::DimmConfig& config,
+                                           const sim::WorkloadStats& workload,
+                                           std::size_t feature_count)
+    : windows_(windows),
+      config_(config),
+      workload_(workload),
+      feature_count_(feature_count),
+      lifetime_(thresholds, config.geometry()),
+      window_(windows, config.geometry()) {}
+
+void OnlineExtractorState::observe_ce(const dram::CeEvent& ce) {
+  pending_ces_.push_back(ce);
+}
+
+void OnlineExtractorState::observe_event(const dram::MemEvent& event) {
+  pending_events_.push_back(event);
+}
+
+void OnlineExtractorState::features_at(SimTime t, std::vector<float>& out) {
+  out.clear();
+  if (t <= 0) return;  // no cadence tick has happened yet
+  MEMFP_CHECK_GE(t, last_query_) << "features_at times must be non-decreasing";
+  last_query_ = t;
+
+  // CEs already outside the observation window at fold time can never
+  // contribute to window features again (queries are non-decreasing), so
+  // they update only the lifetime state. Skipping is exact: a skipped CE
+  // implies every earlier record crosses the same eviction threshold below,
+  // which dirties and refolds the interarrival aggregates.
+  const SimTime window_start = t - windows_.observation;
+  while (!pending_ces_.empty() && pending_ces_.front().time <= t) {
+    const dram::CeEvent& ce = pending_ces_.front();
+    lifetime_.add(ce);
+    if (ce.time > window_start) window_.add(ce);
+    pending_ces_.pop_front();
+  }
+  while (!pending_events_.empty() && pending_events_.front().time <= t) {
+    if (pending_events_.front().time > window_start) {
+      window_.add_event(pending_events_.front());
+    }
+    pending_events_.pop_front();
+  }
+  window_.advance(t);
+  if (window_.size() == 0) return;  // no CE in the observation window
+  emit(t, out);
+}
+
+std::vector<float> OnlineExtractorState::features_at(SimTime t) {
+  std::vector<float> out;
+  features_at(t, out);
+  return out;
+}
+
+void OnlineExtractorState::emit(SimTime t, std::vector<float>& f) {
+  const std::size_t window_size = window_.size();
+  f.assign(feature_count_, 0.0f);
+  std::size_t k = 0;
+
+  // ---- Temporal ----
+  const std::uint64_t count_1d = window_.count_1d();
+  const std::uint64_t count_5d = window_size;
+  f[k++] = log1pf_clamped(static_cast<double>(window_.count_1h()));
+  f[k++] = log1pf_clamped(static_cast<double>(window_.count_6h()));
+  f[k++] = log1pf_clamped(static_cast<double>(count_1d));
+  f[k++] = log1pf_clamped(static_cast<double>(window_.count_3d()));
+  f[k++] = log1pf_clamped(static_cast<double>(count_5d));
+
+  f[k++] = static_cast<float>(window_.storms());
+  f[k++] = static_cast<float>(window_.suppressions());
+
+  window_.finalize_interarrival();
+  const std::size_t inter_n = window_size - 1;
+  const double inter_mean =
+      inter_n > 0 ? window_.inter_sum() / inter_n : 120.0;
+  const double inter_var =
+      inter_n > 1 ? std::max(0.0, window_.inter_sq() / inter_n -
+                                      inter_mean * inter_mean)
+                  : 0.0;
+  f[k++] = log1pf_clamped(inter_mean);
+  f[k++] = log1pf_clamped(inter_n > 0 ? window_.inter_min() : 120.0);
+  f[k++] = static_cast<float>(
+      inter_mean > 0.0 ? std::sqrt(inter_var) / inter_mean : 0.0);
+  f[k++] = static_cast<float>(
+      std::log1p(static_cast<double>(count_1d)) -
+      std::log1p(static_cast<double>(count_5d) / 5.0));
+  f[k++] = static_cast<float>(
+      static_cast<double>(t - lifetime_.first_ce()) /
+      static_cast<double>(kDay));
+  f[k++] = static_cast<float>(
+      static_cast<double>(t - lifetime_.last_ce()) /
+      static_cast<double>(kHour));
+  f[k++] = log1pf_clamped(static_cast<double>(lifetime_.total_ces()));
+  f[k++] = static_cast<float>(window_.active_days());
+
+  // ---- Spatial (window structure + lifetime fault inference) ----
+  const int dominant = window_.dominant_device_ces();
+  const int max_row = window_.max_row_ces();
+  f[k++] = log1pf_clamped(static_cast<double>(window_.distinct_cells()));
+  f[k++] = log1pf_clamped(static_cast<double>(window_.distinct_rows()));
+  f[k++] = log1pf_clamped(static_cast<double>(window_.distinct_columns()));
+  f[k++] = log1pf_clamped(static_cast<double>(window_.distinct_banks()));
+  f[k++] = static_cast<float>(window_.distinct_devices());
+  f[k++] = static_cast<float>(lifetime_.devices_seen());
+  f[k++] = static_cast<float>(window_size > 0
+                                  ? static_cast<double>(dominant) /
+                                        static_cast<double>(window_size)
+                                  : 0.0);
+  f[k++] = log1pf_clamped(lifetime_.cell_faults());
+  f[k++] = log1pf_clamped(lifetime_.row_faults());
+  f[k++] = log1pf_clamped(lifetime_.column_faults());
+  f[k++] = log1pf_clamped(lifetime_.bank_faults());
+  f[k++] = lifetime_.faulty_devices() >= 2 ? 1.0f : 0.0f;
+  f[k++] = lifetime_.faulty_devices() == 1 ? 1.0f : 0.0f;
+  f[k++] = log1pf_clamped(max_row);
+
+  // ---- Bit-level ----
+  const AxisStats window_dq = window_.pattern().dq_stats();
+  const AxisStats window_beat = window_.pattern().beat_stats();
+  const AxisStats life_dq = lifetime_.pattern().dq_stats();
+  const AxisStats life_beat = lifetime_.pattern().beat_stats();
+  f[k++] = static_cast<float>(window_dq.count);
+  f[k++] = static_cast<float>(window_beat.count);
+  f[k++] = static_cast<float>(window_dq.max_interval);
+  f[k++] = static_cast<float>(window_beat.max_interval);
+  f[k++] = static_cast<float>(window_beat.span);
+  f[k++] = static_cast<float>(life_dq.count);
+  f[k++] = static_cast<float>(life_beat.count);
+  f[k++] = static_cast<float>(life_beat.max_interval);
+  f[k++] = static_cast<float>(life_beat.span);
+  f[k++] = log1pf_clamped(static_cast<double>(lifetime_.pattern().bit_count()));
+  f[k++] = static_cast<float>(window_.max_ce_dq_count());
+  f[k++] = static_cast<float>(window_.max_ce_beat_count());
+  f[k++] = static_cast<float>(static_cast<double>(window_.multibit_ces()) /
+                              static_cast<double>(window_size));
+  f[k++] = log1pf_clamped(window_.cross_device_ces());
+  f[k++] = lifetime_.pattern().purley_risky() ? 1.0f : 0.0f;
+  f[k++] = life_dq.count >= 4 && life_beat.count >= 5 ? 1.0f : 0.0f;
+
+  // ---- Static ----
+  f[k++] = static_cast<float>(config_.manufacturer);
+  f[k++] = static_cast<float>(config_.process);
+  f[k++] = static_cast<float>(config_.frequency_mhz) / 1000.0f;
+  f[k++] = static_cast<float>(config_.capacity_gib);
+  f[k++] = static_cast<float>(config_.width);
+
+  // ---- Workload ----
+  f[k++] = workload_.cpu_utilization;
+  f[k++] = workload_.memory_utilization;
+  f[k++] = workload_.read_write_ratio;
+}
+
+}  // namespace memfp::features

@@ -1,0 +1,317 @@
+// Incremental sliding-window feature state.
+//
+// The pre-incremental extractor rescanned every CE in the observation window
+// at every cadence tick — O(ticks × window) with fresh hash containers per
+// tick. The classes here replace that with add/evict updates so one trace
+// costs O(events) amortized, while producing feature values byte-identical
+// to the rescanning implementation (enforced by the golden-equivalence suite
+// in tests/test_extractor_incremental.cc):
+//
+//  - Integer aggregates (counts, distinct cardinalities, max-of-counts) are
+//    exactly decremental: count-decrement maps with erase-on-zero, plus a
+//    count-frequency histogram for max-of-counts (a single ±1 update moves
+//    the max by at most one, so it is maintained in O(1)).
+//  - Bit-level aggregates use dense (DQ × beat) occupancy arrays; interval /
+//    span statistics are recomputed from the ≤ total_dq + beats occupancy
+//    axes at emit time, which is exact and O(80).
+//  - Floating-point interarrival folds (sum, sum of squares, min of gap
+//    hours) are the one place decremental math is NOT bit-exact, because
+//    double addition is non-associative. They use a rescan-on-evict hybrid:
+//    appending a CE extends the fold with the same left-to-right operation
+//    sequence the rescanning code performs, so the fold stays bit-exact
+//    until an eviction invalidates it; the next emit then refolds the gaps
+//    of the surviving window once.
+//
+// OnlineExtractorState composes these with the lifetime fault state into the
+// streaming serving engine: a per-DIMM object that consumes appended CE /
+// memory events and answers features_at(t) for non-decreasing t with no
+// trace copy and no extractor reconstruction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "dram/events.h"
+#include "dram/geometry.h"
+#include "features/fault_inference.h"
+#include "features/windows.h"
+#include "sim/trace.h"
+
+namespace memfp::features {
+
+/// Packed cell address used as the spatial hierarchy key: rank | device |
+/// bank | row | column, with shifts chosen so prefixes identify the row
+/// (>> 16), bank (>> 40) and device (>> 48) levels.
+inline std::uint64_t pack_cell(const dram::CellCoord& c) {
+  return (static_cast<std::uint64_t>(c.rank) << 56) |
+         (static_cast<std::uint64_t>(c.device & 0xff) << 48) |
+         (static_cast<std::uint64_t>(c.bank & 0xff) << 40) |
+         (static_cast<std::uint64_t>(c.row & 0xffffff) << 16) |
+         static_cast<std::uint64_t>(c.column & 0xffff);
+}
+
+/// Sliding multiset of keys: O(1) increment/decrement, distinct-key count,
+/// and exact maximum multiplicity (via a count-frequency histogram — one ±1
+/// step moves the max by at most one).
+class SlidingCountMap {
+ public:
+  void increment(std::uint64_t key);
+  void decrement(std::uint64_t key);
+  std::size_t distinct() const { return counts_.size(); }
+  int max_count() const { return max_; }
+
+ private:
+  std::unordered_map<std::uint64_t, int> counts_;
+  std::vector<std::int64_t> freq_;  // freq_[c] = #keys with multiplicity c
+  int max_ = 0;
+};
+
+/// Distinct count / interval statistics of one pattern axis (DQ lanes or
+/// beats), computed from a dense occupancy array. Matches the sorted-distinct
+/// logic of dram::ErrorPattern exactly.
+struct AxisStats {
+  int count = 0;
+  int max_interval = 0;
+  int span = 0;
+};
+
+AxisStats axis_stats(const std::vector<int>& occupancy);
+
+/// Union of the error-bit patterns currently inside the window, maintained
+/// as per-(DQ, beat) multiplicities so evictions are exact.
+class WindowPatternState {
+ public:
+  explicit WindowPatternState(const dram::Geometry& geometry);
+
+  void add(const std::vector<dram::ErrorBit>& bits);
+  void remove(const std::vector<dram::ErrorBit>& bits);
+
+  AxisStats dq_stats() const { return axis_stats(dq_occupancy_); }
+  AxisStats beat_stats() const { return axis_stats(beat_occupancy_); }
+
+ private:
+  int beats_;
+  std::vector<int> bit_counts_;      // (dq * beats_ + beat) -> multiplicity
+  std::vector<int> dq_occupancy_;    // #active (dq, beat) cells per DQ
+  std::vector<int> beat_occupancy_;  // #active (dq, beat) cells per beat
+};
+
+/// Lifetime (monotone) error-bit accumulation: the DIMM's merged bit map
+/// plus the per-device weak-shape latch. Bits only ever arrive, so the
+/// risky-shape flags latch and the axis statistics are cached until a new
+/// bit lands.
+class LifetimePatternState {
+ public:
+  explicit LifetimePatternState(const dram::Geometry& geometry);
+
+  void add(const dram::ErrorPattern& pattern);
+
+  int bit_count() const { return bit_count_; }
+  AxisStats dq_stats() const;
+  AxisStats beat_stats() const;
+  /// Any single device accumulated >= 2 DQs, >= 2 beats, beat span >= 4 —
+  /// the Purley single-chip risky shape.
+  bool purley_risky() const { return purley_risky_; }
+
+ private:
+  dram::Geometry geometry_;
+  int beats_;
+  std::vector<std::uint8_t> bit_seen_;  // (dq * beats_ + beat) -> 0/1
+  std::vector<int> dq_occupancy_;
+  std::vector<int> beat_occupancy_;
+  std::vector<std::uint32_t> device_dq_mask_;    // lanes within the device
+  std::vector<std::uint32_t> device_beat_mask_;  // beats within the device
+  int bit_count_ = 0;
+  bool purley_risky_ = false;
+  mutable bool stats_dirty_ = true;
+  mutable AxisStats dq_stats_;
+  mutable AxisStats beat_stats_;
+};
+
+/// Lifetime fault structure, updated one CE at a time. Mirrors
+/// infer_faults() but amortized across the trace walk.
+class LifetimeState {
+ public:
+  LifetimeState(const FaultThresholds& thresholds,
+                const dram::Geometry& geometry);
+
+  void add(const dram::CeEvent& ce);
+
+  int cell_faults() const { return cell_faults_; }
+  int row_faults() const { return row_faults_; }
+  int column_faults() const { return column_faults_; }
+  int bank_faults() const { return bank_faults_; }
+  int faulty_devices() const { return faulty_devices_; }
+  int devices_seen() const { return static_cast<int>(devices_seen_.size()); }
+  const LifetimePatternState& pattern() const { return pattern_; }
+  SimTime first_ce() const { return first_ce_; }
+  SimTime last_ce() const { return last_ce_; }
+  std::uint64_t total_ces() const { return total_ces_; }
+
+ private:
+  struct BankState {
+    std::unordered_set<int> rows;
+    std::unordered_set<int> columns;
+    bool counted = false;
+  };
+
+  FaultThresholds thresholds_;
+  int cell_faults_ = 0;
+  int row_faults_ = 0;
+  int column_faults_ = 0;
+  int bank_faults_ = 0;
+  int faulty_devices_ = 0;
+  std::unordered_map<std::uint64_t, int> cell_counts_;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> row_columns_;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> column_rows_;
+  std::unordered_map<std::uint64_t, BankState> banks_;
+  std::unordered_map<int, int> device_counts_;
+  std::unordered_set<int> devices_seen_;
+  LifetimePatternState pattern_;
+  SimTime first_ce_ = -1;
+  SimTime last_ce_ = -1;
+  std::uint64_t total_ces_ = 0;
+};
+
+/// The trailing observation window over one DIMM's CE stream. CEs are added
+/// in time order; advance(t) evicts CEs that left the window and slides the
+/// sub-window (1h/6h/1d/3d) boundaries. All aggregates the extractor reads
+/// at a tick are O(1) (or O(total_dq + beats)) at emit time.
+class WindowState {
+ public:
+  WindowState(const PredictionWindows& windows, const dram::Geometry& geometry);
+
+  /// Folds one CE (time-ordered) into the window aggregates.
+  void add(const dram::CeEvent& ce);
+  /// Folds one memory event (time-ordered); only storm / suppression events
+  /// participate in features.
+  void add_event(const dram::MemEvent& event);
+  /// Slides the window end to t: evicts CEs/events at or before
+  /// t - observation and advances the sub-window count boundaries.
+  void advance(SimTime t);
+
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t count_1h() const { return counts_since(0); }
+  std::uint64_t count_6h() const { return counts_since(1); }
+  std::uint64_t count_1d() const { return counts_since(2); }
+  std::uint64_t count_3d() const { return counts_since(3); }
+  int storms() const { return storms_; }
+  int suppressions() const { return suppressions_; }
+  std::size_t active_days() const { return days_.distinct(); }
+
+  /// Refolds the interarrival aggregates if an eviction invalidated them,
+  /// then reads them. Call only at emit time.
+  void finalize_interarrival();
+  double inter_sum() const { return inter_sum_; }
+  double inter_sq() const { return inter_sq_; }
+  double inter_min() const { return inter_min_; }
+
+  std::size_t distinct_cells() const { return cells_.distinct(); }
+  std::size_t distinct_rows() const { return rows_.distinct(); }
+  std::size_t distinct_columns() const { return columns_.distinct(); }
+  std::size_t distinct_banks() const { return banks_.distinct(); }
+  std::size_t distinct_devices() const { return devices_.distinct(); }
+  int dominant_device_ces() const { return devices_.max_count(); }
+  int max_row_ces() const { return row_ces_.max_count(); }
+
+  const WindowPatternState& pattern() const { return pattern_; }
+  int max_ce_dq_count();
+  int max_ce_beat_count();
+  int multibit_ces() const { return multibit_; }
+  int cross_device_ces() const { return cross_device_; }
+
+ private:
+  /// Per-CE payload retained while the CE is inside the window, with the
+  /// derived values precomputed once at add time.
+  struct CeRecord {
+    SimTime time = 0;
+    std::uint64_t cell = 0;
+    int device = 0;
+    int day = 0;
+    int dq_count = 0;
+    int beat_count = 0;
+    bool multibit = false;
+    bool cross_device = false;
+    std::vector<dram::ErrorBit> bits;
+  };
+
+  std::uint64_t counts_since(int sub) const {
+    return next_seq_ - sub_seq_[sub];
+  }
+  void refold_interarrival();
+
+  PredictionWindows windows_;
+  dram::Geometry geometry_;
+  std::deque<CeRecord> records_;
+  std::uint64_t front_seq_ = 0;  // sequence number of records_.front()
+  std::uint64_t next_seq_ = 0;   // sequence number of the next add
+  // First CE inside each trailing sub-window (1h / 6h / 1d / 3d).
+  std::uint64_t sub_seq_[4] = {0, 0, 0, 0};
+
+  std::deque<std::pair<SimTime, bool>> storm_events_;  // (time, suppressed)
+  int storms_ = 0;
+  int suppressions_ = 0;
+
+  double inter_sum_ = 0.0;
+  double inter_sq_ = 0.0;
+  double inter_min_ = 1e18;
+  bool inter_dirty_ = false;
+
+  SlidingCountMap cells_;
+  SlidingCountMap rows_;
+  SlidingCountMap columns_;
+  SlidingCountMap banks_;
+  SlidingCountMap devices_;
+  SlidingCountMap row_ces_;
+  SlidingCountMap days_;
+
+  WindowPatternState pattern_;
+  std::vector<std::int64_t> dq_count_freq_;    // per-CE dq_count histogram
+  std::vector<std::int64_t> beat_count_freq_;  // per-CE beat_count histogram
+  int max_dq_ub_ = 0;    // upper bound, tightened lazily at emit
+  int max_beats_ub_ = 0;
+  int multibit_ = 0;
+  int cross_device_ = 0;
+};
+
+/// Streaming per-DIMM feature engine: the persistent online serving state.
+/// Feed telemetry with observe_ce / observe_event (time-ordered); query with
+/// features_at(t) for non-decreasing t. Events appended with a timestamp
+/// beyond the queried t stay pending — a feature vector at time t remains a
+/// pure function of events at time <= t (the leakage discipline).
+class OnlineExtractorState {
+ public:
+  OnlineExtractorState(const PredictionWindows& windows,
+                       const FaultThresholds& thresholds,
+                       const dram::DimmConfig& config,
+                       const sim::WorkloadStats& workload,
+                       std::size_t feature_count);
+
+  void observe_ce(const dram::CeEvent& ce);
+  void observe_event(const dram::MemEvent& event);
+
+  /// Features at time t, or an empty vector when the observation window
+  /// holds no CE (or t <= 0 — no cadence tick has happened). t must be
+  /// non-decreasing across calls.
+  void features_at(SimTime t, std::vector<float>& out);
+  std::vector<float> features_at(SimTime t);
+
+ private:
+  void emit(SimTime t, std::vector<float>& out);
+
+  PredictionWindows windows_;
+  dram::DimmConfig config_;
+  sim::WorkloadStats workload_;
+  std::size_t feature_count_;
+  LifetimeState lifetime_;
+  WindowState window_;
+  std::deque<dram::CeEvent> pending_ces_;
+  std::deque<dram::MemEvent> pending_events_;
+  SimTime last_query_ = 0;
+};
+
+}  // namespace memfp::features

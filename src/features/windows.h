@@ -7,6 +7,11 @@
 
 namespace memfp::features {
 
+/// Trailing sub-windows of the temporal feature group (CE counts over the
+/// last 1h / 6h / 1d / 3d inside the observation window). Shared between the
+/// incremental WindowState and the equivalence tests.
+inline constexpr SimDuration kSubWindows[4] = {kHour, hours(6), kDay, days(3)};
+
 struct PredictionWindows {
   SimDuration observation = days(5);   ///< dt_d
   SimDuration lead = hours(3);         ///< dt_l (paper: up to 3h)

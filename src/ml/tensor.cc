@@ -36,10 +36,18 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
     float* out_row = out.data() + i * n;
     const float* a_row = a.data() + i * k;
     for (std::size_t p = 0; p < k; ++p) {
+      // No zero-skip: attention/MLP activations are dense, so the
+      // data-dependent branch only costs a misprediction per element.
       const float av = a_row[p];
-      if (av == 0.0f) continue;
       const float* b_row = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        out_row[j] += av * b_row[j];
+        out_row[j + 1] += av * b_row[j + 1];
+        out_row[j + 2] += av * b_row[j + 2];
+        out_row[j + 3] += av * b_row[j + 3];
+      }
+      for (; j < n; ++j) out_row[j] += av * b_row[j];
     }
   }
 }
@@ -57,9 +65,15 @@ void gemm_at(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
     const float* b_row = b.data() + p * n;
     for (std::size_t i = 0; i < m; ++i) {
       const float av = a_row[i];
-      if (av == 0.0f) continue;
       float* out_row = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        out_row[j] += av * b_row[j];
+        out_row[j + 1] += av * b_row[j + 1];
+        out_row[j + 2] += av * b_row[j + 2];
+        out_row[j + 3] += av * b_row[j + 3];
+      }
+      for (; j < n; ++j) out_row[j] += av * b_row[j];
     }
   }
 }
@@ -75,7 +89,29 @@ void gemm_bt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   for (std::size_t i = 0; i < m; ++i) {
     const float* a_row = a.data() + i * k;
     float* out_row = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
+    // Four independent dot products per step: each keeps its own sequential
+    // accumulation over p (bit-identical per output element), while the
+    // a_row loads are shared and the four chains hide FMA latency.
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b.data() + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        acc0 += av * b0[p];
+        acc1 += av * b1[p];
+        acc2 += av * b2[p];
+        acc3 += av * b3[p];
+      }
+      out_row[j] += acc0;
+      out_row[j + 1] += acc1;
+      out_row[j + 2] += acc2;
+      out_row[j + 3] += acc3;
+    }
+    for (; j < n; ++j) {
       const float* b_row = b.data() + j * k;
       float acc = 0.0f;
       for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];

@@ -33,6 +33,11 @@ std::vector<float> FeatureStore::serve(const sim::DimmTrace& trace,
   return extractor_.features_at(trace, t);
 }
 
+features::OnlineExtractorState FeatureStore::open_stream(
+    const sim::DimmTrace& trace) const {
+  return extractor_.open_stream(trace.config, trace.workload);
+}
+
 bool FeatureStore::check_consistency(const sim::DimmTrace& trace, SimTime t,
                                      SimTime horizon) const {
   const std::vector<float> served = serve(trace, t);

@@ -25,7 +25,14 @@ class FeatureStore {
                                                 SimTime horizon) const;
 
   /// Streaming serving: point-in-time-correct features for online scoring.
+  /// One-shot — replays the trace prefix per call.
   std::vector<float> serve(const sim::DimmTrace& trace, SimTime t) const;
+
+  /// Opens a persistent streaming extraction state for one DIMM: feed
+  /// telemetry as it arrives, query features at non-decreasing times with no
+  /// trace copies and no extractor reconstruction. Byte-identical to serve()
+  /// and to batch_transform rows (the consistency guarantee).
+  features::OnlineExtractorState open_stream(const sim::DimmTrace& trace) const;
 
   /// Training/serving consistency check: the batch row at time t must equal
   /// the served vector bit-for-bit. Returns false on any divergence.

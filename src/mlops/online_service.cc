@@ -27,29 +27,45 @@ OnlinePredictionService::OnlinePredictionService(
   }
 }
 
-double OnlinePredictionService::score_dimm(const sim::DimmTrace& dimm,
-                                           SimTime t) {
-  if (!model_) return 0.0;
-  const std::vector<float> features = store_->serve(dimm, t);
+double OnlinePredictionService::score_features(
+    dram::DimmId dimm, SimTime t, const std::vector<float>& features) {
   if (features.empty()) return 0.0;
   const double score = model_->predict(features);
   monitoring_->record_prediction(score);
   if (score >= threshold_) {
-    alarms_->raise(dimm.id, t, score);
+    alarms_->raise(dimm, t, score);
     monitoring_->record_alarm();
   }
   return score;
+}
+
+double OnlinePredictionService::score_dimm(const sim::DimmTrace& dimm,
+                                           SimTime t) {
+  if (!model_) return 0.0;
+  return score_features(dimm.id, t, store_->serve(dimm, t));
 }
 
 void OnlinePredictionService::run_over(const sim::FleetTrace& fleet,
                                        SimTime start, SimTime end,
                                        SimDuration cadence) {
   if (!model_) return;
+  std::vector<float> features;
   for (const sim::DimmTrace& dimm : fleet.dimms) {
     if (dimm.ces.empty()) continue;
+    features::OnlineExtractorState stream = store_->open_stream(dimm);
+    std::size_t next_ce = 0;
+    std::size_t next_event = 0;
     for (SimTime t = start; t <= end; t += cadence) {
       if (dimm.ue && t >= dimm.ue->time) break;  // the DIMM already failed
-      score_dimm(dimm, t);
+      while (next_ce < dimm.ces.size() && dimm.ces[next_ce].time <= t) {
+        stream.observe_ce(dimm.ces[next_ce++]);
+      }
+      while (next_event < dimm.events.size() &&
+             dimm.events[next_event].time <= t) {
+        stream.observe_event(dimm.events[next_event++]);
+      }
+      stream.features_at(t, features);
+      score_features(dimm.id, t, features);
       if (alarms_->first_alarm(dimm.id)) break;  // mitigation in flight
     }
   }

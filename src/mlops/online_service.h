@@ -30,7 +30,10 @@ class OnlinePredictionService {
   double score_dimm(const sim::DimmTrace& dimm, SimTime t);
 
   /// Streams a whole fleet at the given cadence over [start, end]; DIMMs
-  /// stop being scored once they alarm or fail.
+  /// stop being scored once they alarm or fail. Holds one persistent
+  /// streaming extraction state per DIMM (FeatureStore::open_stream), so a
+  /// sweep costs O(events + ticks) per DIMM instead of replaying the trace
+  /// prefix at every tick.
   void run_over(const sim::FleetTrace& fleet, SimTime start, SimTime end,
                 SimDuration cadence);
 
@@ -39,6 +42,12 @@ class OnlinePredictionService {
   void apply_feedback(const sim::FleetTrace& fleet);
 
  private:
+  /// Scores an already-extracted feature vector: predict, report to
+  /// monitoring, alarm on threshold crossing. Shared by the one-shot and
+  /// streaming paths.
+  double score_features(dram::DimmId dimm, SimTime t,
+                        const std::vector<float>& features);
+
   const FeatureStore* store_;
   AlarmSystem* alarms_;
   Monitoring* monitoring_;

@@ -1,0 +1,647 @@
+// Golden-equivalence suite for the incremental sliding-window extractor.
+//
+// `naive_extract` below is a retained verbatim copy of the pre-incremental
+// FeatureExtractor::extract (the O(ticks × window) rescanning version this
+// PR replaced): it is the executable specification the incremental engine
+// must match byte-for-byte — same samples, same labels, same float bits — on
+// storm-heavy, sparse and UE-truncated traces, at every thread count. The
+// golden hashes pin both implementations against silent drift: they were
+// captured from the rescanning extractor on these exact trace generators.
+// Do not change the generators without recapturing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "features/extractor.h"
+
+namespace memfp::features {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Retained naive reference (pre-incremental extractor, verbatim).
+// ---------------------------------------------------------------------------
+
+float log1pf_clamped(double value) {
+  return static_cast<float>(std::log1p(std::max(0.0, value)));
+}
+
+std::uint64_t naive_pack_cell(const dram::CellCoord& c) {
+  return (static_cast<std::uint64_t>(c.rank) << 56) |
+         (static_cast<std::uint64_t>(c.device & 0xff) << 48) |
+         (static_cast<std::uint64_t>(c.bank & 0xff) << 40) |
+         (static_cast<std::uint64_t>(c.row & 0xffffff) << 16) |
+         static_cast<std::uint64_t>(c.column & 0xffff);
+}
+
+/// Lifetime fault structure of the naive extractor, updated one CE at a time.
+class NaiveLifetimeState {
+ public:
+  explicit NaiveLifetimeState(const FaultThresholds& thresholds)
+      : thresholds_(thresholds) {}
+
+  void add(const dram::CeEvent& ce) {
+    const dram::CellCoord& c = ce.coord;
+    const std::uint64_t cell = naive_pack_cell(c);
+    if (++cell_counts_[cell] == thresholds_.cell_repeat) ++cell_faults_;
+
+    const std::uint64_t row = cell >> 16;
+    auto& row_cols = row_columns_[row];
+    if (row_cols.insert(c.column).second &&
+        static_cast<int>(row_cols.size()) == thresholds_.row_columns) {
+      ++row_faults_;
+    }
+
+    const std::uint64_t col =
+        (cell & 0xffffff000000ffffULL) | 0xff0000ULL;  // row wildcarded
+    auto& col_rows = column_rows_[col];
+    if (col_rows.insert(c.row).second &&
+        static_cast<int>(col_rows.size()) == thresholds_.column_rows) {
+      ++column_faults_;
+    }
+
+    const std::uint64_t bank = cell >> 40;
+    auto& bank_state = banks_[bank];
+    bank_state.rows.insert(c.row);
+    bank_state.columns.insert(c.column);
+    if (!bank_state.counted &&
+        static_cast<int>(bank_state.rows.size()) >= thresholds_.bank_rows &&
+        static_cast<int>(bank_state.columns.size()) >=
+            thresholds_.bank_columns) {
+      bank_state.counted = true;
+      ++bank_faults_;
+    }
+
+    const int device = (c.rank << 8) | c.device;
+    if (++device_counts_[device] == thresholds_.device_min_ces) {
+      ++faulty_devices_;
+    }
+    devices_seen_.insert(device);
+
+    acc_pattern_.merge(ce.pattern);
+    if (first_ce_ < 0) first_ce_ = ce.time;
+    last_ce_ = ce.time;
+    ++total_ces_;
+  }
+
+  int cell_faults() const { return cell_faults_; }
+  int row_faults() const { return row_faults_; }
+  int column_faults() const { return column_faults_; }
+  int bank_faults() const { return bank_faults_; }
+  int faulty_devices() const { return faulty_devices_; }
+  int devices_seen() const { return static_cast<int>(devices_seen_.size()); }
+  const dram::ErrorPattern& pattern() const { return acc_pattern_; }
+  SimTime first_ce() const { return first_ce_; }
+  SimTime last_ce() const { return last_ce_; }
+  std::uint64_t total_ces() const { return total_ces_; }
+
+ private:
+  struct BankState {
+    std::unordered_set<int> rows;
+    std::unordered_set<int> columns;
+    bool counted = false;
+  };
+
+  FaultThresholds thresholds_;
+  int cell_faults_ = 0;
+  int row_faults_ = 0;
+  int column_faults_ = 0;
+  int bank_faults_ = 0;
+  int faulty_devices_ = 0;
+  std::unordered_map<std::uint64_t, int> cell_counts_;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> row_columns_;
+  std::unordered_map<std::uint64_t, std::unordered_set<int>> column_rows_;
+  std::unordered_map<std::uint64_t, BankState> banks_;
+  std::unordered_map<int, int> device_counts_;
+  std::unordered_set<int> devices_seen_;
+  dram::ErrorPattern acc_pattern_;
+  SimTime first_ce_ = -1;
+  SimTime last_ce_ = -1;
+  std::uint64_t total_ces_ = 0;
+};
+
+std::vector<Sample> naive_extract(const sim::DimmTrace& trace, SimTime horizon,
+                                  const PredictionWindows& windows,
+                                  const FaultThresholds& thresholds,
+                                  std::size_t n_features) {
+  std::vector<Sample> samples;
+  if (trace.ces.empty()) return samples;
+
+  const dram::Geometry geometry = trace.config.geometry();
+  const SimTime end =
+      trace.ue ? std::min(horizon, trace.ue->time - 1) : horizon;
+
+  NaiveLifetimeState lifetime(thresholds);
+  std::size_t window_begin = 0;
+  std::size_t consumed = 0;
+  std::size_t storm_begin = 0;
+  std::size_t storm_end = 0;
+
+  for (SimTime t = windows.cadence; t <= end; t += windows.cadence) {
+    while (consumed < trace.ces.size() && trace.ces[consumed].time <= t) {
+      lifetime.add(trace.ces[consumed]);
+      ++consumed;
+    }
+    const SimTime window_start = t - windows.observation;
+    while (window_begin < consumed &&
+           trace.ces[window_begin].time <= window_start) {
+      ++window_begin;
+    }
+    while (storm_end < trace.events.size() &&
+           trace.events[storm_end].time <= t) {
+      ++storm_end;
+    }
+    while (storm_begin < storm_end &&
+           trace.events[storm_begin].time <= window_start) {
+      ++storm_begin;
+    }
+
+    const std::size_t window_size = consumed - window_begin;
+    if (window_size == 0) continue;
+
+    Sample sample;
+    sample.dimm = trace.id;
+    sample.time = t;
+    sample.label = trace.ue ? windows.label_for(t, trace.ue->time) : 0;
+    sample.features.assign(n_features, 0.0f);
+    auto& f = sample.features;
+    std::size_t k = 0;
+
+    // ---- Temporal ----
+    std::uint64_t count_1h = 0, count_6h = 0, count_1d = 0, count_3d = 0;
+    SimTime prev = -1;
+    double inter_sum = 0.0, inter_sq = 0.0, inter_min = 1e18;
+    std::size_t inter_n = 0;
+    std::unordered_set<int> active_days;
+    for (std::size_t i = window_begin; i < consumed; ++i) {
+      const SimTime ce_time = trace.ces[i].time;
+      const SimTime age = t - ce_time;
+      count_1h += age <= kHour;
+      count_6h += age <= hours(6);
+      count_1d += age <= kDay;
+      count_3d += age <= days(3);
+      active_days.insert(static_cast<int>(ce_time / kDay));
+      if (prev >= 0) {
+        const double gap_h = static_cast<double>(ce_time - prev) /
+                             static_cast<double>(kHour);
+        inter_sum += gap_h;
+        inter_sq += gap_h * gap_h;
+        inter_min = std::min(inter_min, gap_h);
+        ++inter_n;
+      }
+      prev = ce_time;
+    }
+    const std::uint64_t count_5d = window_size;
+    f[k++] = log1pf_clamped(static_cast<double>(count_1h));
+    f[k++] = log1pf_clamped(static_cast<double>(count_6h));
+    f[k++] = log1pf_clamped(static_cast<double>(count_1d));
+    f[k++] = log1pf_clamped(static_cast<double>(count_3d));
+    f[k++] = log1pf_clamped(static_cast<double>(count_5d));
+
+    int storms = 0, suppressions = 0;
+    for (std::size_t i = storm_begin; i < storm_end; ++i) {
+      storms += trace.events[i].type == dram::MemEventType::kCeStorm;
+      suppressions +=
+          trace.events[i].type == dram::MemEventType::kCeStormSuppressed;
+    }
+    f[k++] = static_cast<float>(storms);
+    f[k++] = static_cast<float>(suppressions);
+
+    const double inter_mean = inter_n > 0 ? inter_sum / inter_n : 120.0;
+    const double inter_var =
+        inter_n > 1 ? std::max(0.0, inter_sq / inter_n - inter_mean * inter_mean)
+                    : 0.0;
+    f[k++] = log1pf_clamped(inter_mean);
+    f[k++] = log1pf_clamped(inter_n > 0 ? inter_min : 120.0);
+    f[k++] = static_cast<float>(
+        inter_mean > 0.0 ? std::sqrt(inter_var) / inter_mean : 0.0);
+    f[k++] = static_cast<float>(
+        std::log1p(static_cast<double>(count_1d)) -
+        std::log1p(static_cast<double>(count_5d) / 5.0));
+    f[k++] = static_cast<float>(
+        static_cast<double>(t - lifetime.first_ce()) /
+        static_cast<double>(kDay));
+    f[k++] = static_cast<float>(
+        static_cast<double>(t - lifetime.last_ce()) /
+        static_cast<double>(kHour));
+    f[k++] = log1pf_clamped(static_cast<double>(lifetime.total_ces()));
+    f[k++] = static_cast<float>(active_days.size());
+
+    // ---- Spatial (window structure + lifetime fault inference) ----
+    std::unordered_set<std::uint64_t> cells, rows, cols, banks;
+    std::unordered_map<int, int> window_devices;
+    std::unordered_map<std::uint64_t, int> row_ces;
+    for (std::size_t i = window_begin; i < consumed; ++i) {
+      const std::uint64_t cell = naive_pack_cell(trace.ces[i].coord);
+      cells.insert(cell);
+      const std::uint64_t row = cell >> 16;
+      rows.insert(row);
+      cols.insert((cell & 0xffffff000000ffffULL));
+      banks.insert(cell >> 40);
+      ++window_devices[(trace.ces[i].coord.rank << 8) |
+                       trace.ces[i].coord.device];
+      ++row_ces[row];
+    }
+    int dominant = 0;
+    // (unordered iteration is fine here: max() is order-independent)
+    for (const auto& [device, count] : window_devices) {
+      dominant = std::max(dominant, count);
+    }
+    int max_row = 0;
+    // (unordered iteration is fine here: max() is order-independent)
+    for (const auto& [row, count] : row_ces) max_row = std::max(max_row, count);
+
+    f[k++] = log1pf_clamped(static_cast<double>(cells.size()));
+    f[k++] = log1pf_clamped(static_cast<double>(rows.size()));
+    f[k++] = log1pf_clamped(static_cast<double>(cols.size()));
+    f[k++] = log1pf_clamped(static_cast<double>(banks.size()));
+    f[k++] = static_cast<float>(window_devices.size());
+    f[k++] = static_cast<float>(lifetime.devices_seen());
+    f[k++] = static_cast<float>(window_size > 0 ? static_cast<double>(dominant) /
+                                                      static_cast<double>(window_size)
+                                                : 0.0);
+    f[k++] = log1pf_clamped(lifetime.cell_faults());
+    f[k++] = log1pf_clamped(lifetime.row_faults());
+    f[k++] = log1pf_clamped(lifetime.column_faults());
+    f[k++] = log1pf_clamped(lifetime.bank_faults());
+    f[k++] = lifetime.faulty_devices() >= 2 ? 1.0f : 0.0f;
+    f[k++] = lifetime.faulty_devices() == 1 ? 1.0f : 0.0f;
+    f[k++] = log1pf_clamped(max_row);
+
+    // ---- Bit-level ----
+    dram::ErrorPattern window_pattern;
+    int max_dq = 0, max_beats = 0, multibit = 0, cross_device = 0;
+    for (std::size_t i = window_begin; i < consumed; ++i) {
+      const dram::ErrorPattern& p = trace.ces[i].pattern;
+      window_pattern.merge(p);
+      max_dq = std::max(max_dq, p.dq_count());
+      max_beats = std::max(max_beats, p.beat_count());
+      multibit += p.bit_count() > 1;
+      cross_device += p.device_count(geometry) > 1;
+    }
+    const dram::ErrorPattern& life_pattern = lifetime.pattern();
+    f[k++] = static_cast<float>(window_pattern.dq_count());
+    f[k++] = static_cast<float>(window_pattern.beat_count());
+    f[k++] = static_cast<float>(window_pattern.max_dq_interval());
+    f[k++] = static_cast<float>(window_pattern.max_beat_interval());
+    f[k++] = static_cast<float>(window_pattern.beat_span());
+    f[k++] = static_cast<float>(life_pattern.dq_count());
+    f[k++] = static_cast<float>(life_pattern.beat_count());
+    f[k++] = static_cast<float>(life_pattern.max_beat_interval());
+    f[k++] = static_cast<float>(life_pattern.beat_span());
+    f[k++] = log1pf_clamped(static_cast<double>(life_pattern.bit_count()));
+    f[k++] = static_cast<float>(max_dq);
+    f[k++] = static_cast<float>(max_beats);
+    f[k++] = static_cast<float>(static_cast<double>(multibit) /
+                                static_cast<double>(window_size));
+    f[k++] = log1pf_clamped(cross_device);
+    bool purley_risky = false;
+    {
+      std::unordered_map<int, dram::ErrorPattern> per_device;
+      for (const dram::ErrorBit& bit : life_pattern.bits()) {
+        per_device[geometry.device_of_dq(bit.dq)].add(bit);
+      }
+      // (unordered iteration is fine here: any-of match; the bool result)
+      for (const auto& [device, pattern] : per_device) {
+        if (pattern.dq_count() >= 2 && pattern.beat_count() >= 2 &&
+            pattern.beat_span() >= 4) {
+          purley_risky = true;
+          break;
+        }
+      }
+    }
+    f[k++] = purley_risky ? 1.0f : 0.0f;
+    f[k++] = life_pattern.dq_count() >= 4 && life_pattern.beat_count() >= 5
+                 ? 1.0f
+                 : 0.0f;
+
+    // ---- Static ----
+    f[k++] = static_cast<float>(trace.config.manufacturer);
+    f[k++] = static_cast<float>(trace.config.process);
+    f[k++] = static_cast<float>(trace.config.frequency_mhz) / 1000.0f;
+    f[k++] = static_cast<float>(trace.config.capacity_gib);
+    f[k++] = static_cast<float>(trace.config.width);
+
+    // ---- Workload ----
+    f[k++] = trace.workload.cpu_utilization;
+    f[k++] = trace.workload.memory_utilization;
+    f[k++] = trace.workload.read_write_ratio;
+
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+/// Pre-incremental features_at: truncated trace copy + throwaway extractor
+/// configured for a single tick at exactly t.
+std::vector<float> naive_features_at(const sim::DimmTrace& trace, SimTime t,
+                                     const PredictionWindows& windows,
+                                     const FaultThresholds& thresholds,
+                                     std::size_t n_features) {
+  sim::DimmTrace truncated;
+  truncated.id = trace.id;
+  truncated.config = trace.config;
+  truncated.workload = trace.workload;
+  std::copy_if(trace.ces.begin(), trace.ces.end(),
+               std::back_inserter(truncated.ces),
+               [&](const dram::CeEvent& ce) { return ce.time <= t; });
+  std::copy_if(trace.events.begin(), trace.events.end(),
+               std::back_inserter(truncated.events),
+               [&](const dram::MemEvent& event) { return event.time <= t; });
+  PredictionWindows point = windows;
+  point.cadence = std::max<SimDuration>(t, 1);
+  std::vector<Sample> samples =
+      naive_extract(truncated, t, point, thresholds, n_features);
+  if (samples.empty()) return {};
+  return std::move(samples.front().features);
+}
+
+// ---------------------------------------------------------------------------
+// Trace generators (frozen — the golden hashes depend on them).
+// ---------------------------------------------------------------------------
+
+/// Bursty trace: storm bursts of clustered CEs over a narrow coordinate
+/// range (so fault thresholds trip), multibit and occasionally cross-device
+/// patterns, plus storm / suppression events.
+sim::DimmTrace synthetic_trace(std::uint64_t seed, int bursts,
+                               int ces_per_burst, SimTime span) {
+  Rng rng(seed);
+  sim::DimmTrace trace;
+  trace.id = static_cast<dram::DimmId>(seed);
+  trace.config.manufacturer = dram::Manufacturer::kB;
+  trace.config.process = dram::DramProcess::k1z;
+  trace.config.frequency_mhz = 3200;
+  trace.workload.cpu_utilization = 0.7f;
+  std::vector<dram::CeEvent> ces;
+  for (int burst = 0; burst < bursts; ++burst) {
+    const SimTime start =
+        1 + static_cast<SimTime>(rng.uniform_u64(static_cast<std::uint64_t>(span)));
+    if (rng.bernoulli(0.5)) {
+      dram::MemEvent event;
+      event.time = start;
+      event.type = rng.bernoulli(0.5) ? dram::MemEventType::kCeStorm
+                                      : dram::MemEventType::kCeStormSuppressed;
+      trace.events.push_back(event);
+    }
+    for (int i = 0; i < ces_per_burst; ++i) {
+      dram::CeEvent ce;
+      ce.time = start + static_cast<SimTime>(rng.uniform_u64(hours(8)));
+      ce.coord = {static_cast<int>(rng.uniform_u64(2)),
+                  static_cast<int>(rng.uniform_u64(18)),
+                  static_cast<int>(rng.uniform_u64(16)),
+                  static_cast<int>(rng.uniform_u64(64)),
+                  static_cast<int>(rng.uniform_u64(32))};
+      const int dq = static_cast<int>(rng.uniform_u64(72));
+      ce.pattern.add({static_cast<std::uint8_t>(dq),
+                      static_cast<std::uint8_t>(rng.uniform_u64(8))});
+      if (rng.bernoulli(0.35)) {
+        ce.pattern.add({static_cast<std::uint8_t>((dq + 5) % 72),
+                        static_cast<std::uint8_t>(rng.uniform_u64(8))});
+      }
+      if (rng.bernoulli(0.1)) {
+        ce.pattern.add({static_cast<std::uint8_t>(rng.uniform_u64(72)),
+                        static_cast<std::uint8_t>(rng.uniform_u64(8))});
+      }
+      ces.push_back(ce);
+    }
+  }
+  std::stable_sort(ces.begin(), ces.end(),
+                   [](const dram::CeEvent& a, const dram::CeEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const dram::MemEvent& a, const dram::MemEvent& b) {
+                     return a.time < b.time;
+                   });
+  trace.ces = std::move(ces);
+  return trace;
+}
+
+sim::DimmTrace storm_heavy_trace(std::uint64_t seed) {
+  return synthetic_trace(seed, 30, 60, days(50));
+}
+
+/// Sparse trace: isolated CEs days apart, so the observation window
+/// repeatedly empties (eviction down to zero, skipped ticks) and refills.
+sim::DimmTrace sparse_trace(std::uint64_t seed) {
+  return synthetic_trace(seed, 12, 2, days(80));
+}
+
+sim::DimmTrace ue_truncated_trace(std::uint64_t seed) {
+  sim::DimmTrace trace = synthetic_trace(seed, 25, 40, days(50));
+  trace.ue = dram::UeEvent{};
+  trace.ue->time = days(33) + hours(7);
+  trace.ue->had_prior_ce = true;
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a64_u32(std::uint64_t h, std::uint32_t v) {
+  for (int byte = 0; byte < 4; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_samples(const std::vector<Sample>& samples) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Sample& sample : samples) {
+    h = fnv1a64_u32(h, static_cast<std::uint32_t>(sample.time / kHour));
+    h = fnv1a64_u32(h, static_cast<std::uint32_t>(sample.label + 1));
+    for (float value : sample.features) {
+      h = fnv1a64_u32(h, std::bit_cast<std::uint32_t>(value));
+    }
+  }
+  return h;
+}
+
+PredictionWindows test_windows() {
+  PredictionWindows windows;
+  windows.cadence = hours(6);  // many ticks per observation window
+  return windows;
+}
+
+// Golden hashes captured from naive_extract (the retained pre-incremental
+// extractor) on the frozen generators above, windows = test_windows().
+constexpr std::uint64_t kGoldenStormHash = 17739176330598536077ULL;
+constexpr std::uint64_t kGoldenSparseHash = 5198835115104375519ULL;
+constexpr std::uint64_t kGoldenUeHash = 8647230958712640813ULL;
+
+void expect_identical(const std::vector<Sample>& naive,
+                      const std::vector<Sample>& incremental) {
+  ASSERT_EQ(naive.size(), incremental.size());
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(naive[i].time, incremental[i].time);
+    EXPECT_EQ(naive[i].label, incremental[i].label);
+    ASSERT_EQ(naive[i].features.size(), incremental[i].features.size());
+    for (std::size_t j = 0; j < naive[i].features.size(); ++j) {
+      // Bit-level comparison: byte-identical, not just numerically close.
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(naive[i].features[j]),
+                std::bit_cast<std::uint32_t>(incremental[i].features[j]))
+          << "sample " << i << " (t=" << naive[i].time << ") feature " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+TEST(ExtractorIncremental, StormHeavyMatchesNaiveByteForByte) {
+  const PredictionWindows windows = test_windows();
+  const FaultThresholds thresholds;
+  const FeatureExtractor extractor(windows, thresholds);
+  const sim::DimmTrace trace = storm_heavy_trace(91);
+  const SimTime horizon = days(55);
+
+  const std::vector<Sample> naive = naive_extract(
+      trace, horizon, windows, thresholds, extractor.schema().size());
+  const std::vector<Sample> incremental = extractor.extract(trace, horizon);
+  ASSERT_GT(naive.size(), 100u);
+  expect_identical(naive, incremental);
+  EXPECT_EQ(hash_samples(naive), kGoldenStormHash);
+  EXPECT_EQ(hash_samples(incremental), kGoldenStormHash);
+}
+
+TEST(ExtractorIncremental, SparseMatchesNaiveByteForByte) {
+  const PredictionWindows windows = test_windows();
+  const FaultThresholds thresholds;
+  const FeatureExtractor extractor(windows, thresholds);
+  const sim::DimmTrace trace = sparse_trace(92);
+  const SimTime horizon = days(85);
+
+  const std::vector<Sample> naive = naive_extract(
+      trace, horizon, windows, thresholds, extractor.schema().size());
+  const std::vector<Sample> incremental = extractor.extract(trace, horizon);
+  ASSERT_FALSE(naive.empty());
+  // The sparse generator must actually exercise empty-window skipping.
+  const std::size_t possible_ticks =
+      static_cast<std::size_t>(horizon / windows.cadence);
+  ASSERT_LT(naive.size(), possible_ticks);
+  expect_identical(naive, incremental);
+  EXPECT_EQ(hash_samples(naive), kGoldenSparseHash);
+  EXPECT_EQ(hash_samples(incremental), kGoldenSparseHash);
+}
+
+TEST(ExtractorIncremental, UeTruncatedMatchesNaiveByteForByte) {
+  const PredictionWindows windows = test_windows();
+  const FaultThresholds thresholds;
+  const FeatureExtractor extractor(windows, thresholds);
+  const sim::DimmTrace trace = ue_truncated_trace(93);
+  const SimTime horizon = days(55);
+
+  const std::vector<Sample> naive = naive_extract(
+      trace, horizon, windows, thresholds, extractor.schema().size());
+  const std::vector<Sample> incremental = extractor.extract(trace, horizon);
+  ASSERT_FALSE(naive.empty());
+  // Truncation and labels: no sample at or past the UE, positives present.
+  EXPECT_LT(naive.back().time, trace.ue->time);
+  EXPECT_TRUE(std::any_of(naive.begin(), naive.end(),
+                          [](const Sample& s) { return s.label == 1; }));
+  expect_identical(naive, incremental);
+  EXPECT_EQ(hash_samples(naive), kGoldenUeHash);
+  EXPECT_EQ(hash_samples(incremental), kGoldenUeHash);
+}
+
+TEST(ExtractorIncremental, ParallelExtractionIdenticalAtEveryThreadCount) {
+  const PredictionWindows windows = test_windows();
+  const FaultThresholds thresholds;
+  const FeatureExtractor extractor(windows, thresholds);
+  const SimTime horizon = days(55);
+  std::vector<sim::DimmTrace> dimms;
+  for (std::uint64_t seed = 200; seed < 212; ++seed) {
+    dimms.push_back(synthetic_trace(seed, 15, 25, days(50)));
+  }
+  dimms.push_back(ue_truncated_trace(93));
+
+  std::vector<std::uint64_t> reference;
+  for (int threads : {1, 2, 4}) {
+    ThreadPool::ScopedLimit cap(threads);
+    std::vector<std::vector<Sample>> extracted(dimms.size());
+    ThreadPool::global().parallel_for(
+        dimms.size(),
+        [&](std::size_t d) {
+          extracted[d] = extractor.extract(dimms[d], horizon);
+        },
+        /*grain=*/1);
+    std::vector<std::uint64_t> hashes;
+    for (const std::vector<Sample>& samples : extracted) {
+      hashes.push_back(hash_samples(samples));
+    }
+    if (reference.empty()) {
+      reference = hashes;
+      // Cross-check thread count 1 against the naive reference per DIMM.
+      for (std::size_t d = 0; d < dimms.size(); ++d) {
+        const std::vector<Sample> naive =
+            naive_extract(dimms[d], horizon, windows, thresholds,
+                          extractor.schema().size());
+        expect_identical(naive, extracted[d]);
+      }
+    } else {
+      EXPECT_EQ(hashes, reference) << "divergence at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ExtractorIncremental, StreamingStateMatchesOneShotServing) {
+  const PredictionWindows windows = test_windows();
+  const FaultThresholds thresholds;
+  const FeatureExtractor extractor(windows, thresholds);
+  const sim::DimmTrace trace = storm_heavy_trace(94);
+
+  OnlineExtractorState stream =
+      extractor.open_stream(trace.config, trace.workload);
+  std::size_t next_ce = 0;
+  std::size_t next_event = 0;
+  std::vector<float> streamed;
+  // Query off-cadence times too: serving is not tied to the tick grid.
+  for (SimTime t = hours(5); t <= days(54); t += hours(17)) {
+    while (next_ce < trace.ces.size() && trace.ces[next_ce].time <= t) {
+      stream.observe_ce(trace.ces[next_ce++]);
+    }
+    while (next_event < trace.events.size() &&
+           trace.events[next_event].time <= t) {
+      stream.observe_event(trace.events[next_event++]);
+    }
+    stream.features_at(t, streamed);
+    const std::vector<float> naive = naive_features_at(
+        trace, t, windows, thresholds, extractor.schema().size());
+    const std::vector<float> one_shot = extractor.features_at(trace, t);
+    ASSERT_EQ(streamed, naive) << "streaming divergence at t=" << t;
+    ASSERT_EQ(one_shot, naive) << "one-shot divergence at t=" << t;
+  }
+  EXPECT_EQ(next_ce, trace.ces.size());  // the sweep consumed the trace
+}
+
+TEST(ExtractorIncremental, StreamingHonorsPendingFutureEvents) {
+  const PredictionWindows windows = test_windows();
+  const FeatureExtractor extractor(windows);
+  const sim::DimmTrace trace = storm_heavy_trace(95);
+
+  // Feed the whole trace up front; queries must still only see time <= t.
+  OnlineExtractorState stream =
+      extractor.open_stream(trace.config, trace.workload);
+  for (const dram::CeEvent& ce : trace.ces) stream.observe_ce(ce);
+  for (const dram::MemEvent& event : trace.events) stream.observe_event(event);
+
+  std::vector<float> streamed;
+  for (SimTime t = days(2); t <= days(54); t += days(13)) {
+    stream.features_at(t, streamed);
+    const std::vector<float> one_shot = extractor.features_at(trace, t);
+    ASSERT_EQ(streamed, one_shot) << "pending-event leakage at t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace memfp::features

@@ -7,14 +7,16 @@
 #   leg 4  tsan      ThreadSanitizer build, thread-pool + parallel
 #                    determinism suites (the racy surface; the full suite
 #                    under TSan is ~20x and adds no extra coverage)
-#   leg 5  tidy      clang-tidy over src/ (advisory; skipped when the
+#   leg 5  bench     bench_micro smoke run (tracked benches execute with
+#                    minimal iterations, so bench binaries can't bit-rot)
+#   leg 6  tidy      clang-tidy over src/ (advisory; skipped when the
 #                    binary is not installed)
 #
 # Every leg builds out-of-source under build-check/ so the developer build/
 # tree is never poisoned by sanitizer objects. Usage:
 #
 #   tools/check.sh          # full matrix
-#   tools/check.sh lint     # one leg (lint|werror|asan|tsan|tidy)
+#   tools/check.sh lint     # one leg (lint|werror|asan|tsan|bench|tidy)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -65,6 +67,19 @@ run_tsan() {
       -R 'ThreadPool|Parallel|Determinism'
 }
 
+run_bench() {
+  log "leg: bench (bench_micro smoke run)"
+  local dir="$MATRIX_ROOT/lint"  # reuse the plain (non-sanitizer) configure
+  cmake -B "$dir" -S "$ROOT" > /dev/null
+  cmake --build "$dir" -j "$JOBS" --target bench_micro
+  # One fast pass over the perf-tracked benches: catches bench-only build
+  # breaks and runtime crashes without recording numbers (run_benches.sh
+  # owns the recorded trajectory).
+  "$dir/bench/bench_micro" \
+    --benchmark_filter='^BM_(Extract|FeaturesAt|Gemm|GemmBt)$|^BM_(GbdtTrain|TreeTrain)/rows:2000' \
+    --benchmark_min_time=0.01 > /dev/null
+}
+
 run_tidy() {
   log "leg: tidy (clang-tidy, advisory)"
   if ! command -v clang-tidy > /dev/null 2>&1; then
@@ -82,17 +97,19 @@ case "$LEG" in
   werror) run_werror ;;
   asan)   run_asan ;;
   tsan)   run_tsan ;;
+  bench)  run_bench ;;
   tidy)   run_tidy ;;
   all)
     run_lint
     run_werror
     run_asan
     run_tsan
+    run_bench
     run_tidy
     log "matrix green"
     ;;
   *)
-    echo "usage: tools/check.sh [lint|werror|asan|tsan|tidy]" >&2
+    echo "usage: tools/check.sh [lint|werror|asan|tsan|bench|tidy]" >&2
     exit 2
     ;;
 esac

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Runs the training micro-benches (BM_TreeTrain / BM_GbdtTrain row-count
-# scaling) and emits BENCH_train.json at the repo root: the pre-refactor
-# single-thread baseline, the current numbers, and the speedup per row
-# count. This file seeds the perf trajectory for the binned-training work —
-# rerun after any change to src/ml/{binning,decision_tree}*.
+# Runs the perf-tracked micro-benches and emits the trajectory files at the
+# repo root:
+#   BENCH_train.json    BM_TreeTrain / BM_GbdtTrain row-count scaling vs the
+#                       pre-binned-training baseline — rerun after changes
+#                       to src/ml/{binning,decision_tree}*.
+#   BENCH_extract.json  BM_Extract / BM_FeaturesAt (incremental sliding-
+#                       window extraction + streaming serving) and
+#                       BM_Gemm / BM_GemmBt (dense kernel unrolling) vs the
+#                       pre-incremental baseline — rerun after changes to
+#                       src/features/ or src/ml/tensor.cc.
+# Each file records the frozen baseline, the current numbers, and the
+# speedup.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -68,6 +75,65 @@ out = {
     "threads": 1,
     "context": raw.get("context", {}),
     "baseline_commit": "2ff4ea7",
+    "baseline_ms": BASELINE_MS,
+    "current_ms": current,
+    "speedup": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(speedup, indent=2, sort_keys=True))
+EOF
+
+RAW_EXTRACT="$BUILD/bench_extract_raw.json"
+"$BUILD/bench/bench_micro" \
+  --benchmark_filter='^BM_(Extract|FeaturesAt|Gemm|GemmBt)$' \
+  --benchmark_out="$RAW_EXTRACT" --benchmark_out_format=json >&2
+
+python3 - "$RAW_EXTRACT" "$ROOT/BENCH_extract.json" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Pre-incremental wall times (ms, median) measured at commit 65df1cd with
+# the same generators as the benches: BM_Extract = full-trace batch
+# extraction (storm-heavy, hourly cadence, 5000 ticks); BM_FeaturesAt = 200
+# successive per-DIMM serving calls (the old path deep-copied the trace and
+# rebuilt an extractor per call); BM_Gemm / BM_GemmBt = dense 256x64 @ 64x64
+# products before the unrolled kernels.
+BASELINE_MS = {
+    "BM_Extract": 800.0,
+    "BM_FeaturesAt": 391.0,
+    "BM_Gemm": 0.617,
+    "BM_GemmBt": 0.437,
+}
+
+UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+current = {}
+for entry in raw.get("benchmarks", []):
+    name = entry["name"]
+    if entry.get("run_type", "iteration") != "iteration":
+        continue
+    if name not in BASELINE_MS:
+        continue
+    scale = UNIT_TO_MS[entry.get("time_unit", "ns")]
+    current[name] = round(entry["real_time"] * scale, 4)
+
+speedup = {
+    bench: round(base / current[bench], 2)
+    for bench, base in BASELINE_MS.items()
+    if current.get(bench)
+}
+
+out = {
+    "generated_by": "tools/run_benches.sh",
+    "threads": 1,
+    "context": raw.get("context", {}),
+    "baseline_commit": "65df1cd",
     "baseline_ms": BASELINE_MS,
     "current_ms": current,
     "speedup": speedup,
