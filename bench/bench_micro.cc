@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/json.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "dram/ecc.h"
@@ -242,20 +244,101 @@ void BM_TreeTrain(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeTrain)->Apply(row_args)->Unit(benchmark::kMillisecond);
 
-void BM_GbdtPredict(benchmark::State& state) {
-  const ml::Dataset d = bench_dataset(2000);
-  ml::GbdtParams params;
-  params.max_rounds = 100;
-  params.early_stopping_rounds = 0;
-  ml::Gbdt model(params);
-  Rng rng(6);
-  model.fit(d, rng);
-  std::size_t i = 0;
+// --- Batch prediction: flat engine vs pointer walker ------------------------
+//
+// Models are trained once per process (function-local statics) on the
+// 2000-row config; the benchmarks scale the *scored* row count. The Walker
+// variants reproduce the pre-flat semantics — per row, walk every
+// pointer-linked tree via Tree::predict — and are the baseline column of
+// BENCH_predict.json. The non-walker variants call Model::predict_batch,
+// which dispatches to the compiled FlatEnsemble. All four run single-threaded
+// so the JSON speedup isolates the layout/batching win, not the pool.
+
+const ml::RandomForest& predict_forest_model() {
+  static const ml::RandomForest model = [] {
+    ml::RandomForestParams params;
+    params.trees = 100;
+    ml::RandomForest fitted(params);
+    Rng rng(6);
+    fitted.fit(bench_dataset(2000), rng);
+    return fitted;
+  }();
+  return model;
+}
+
+const ml::Gbdt& predict_gbdt_model() {
+  static const ml::Gbdt model = [] {
+    ml::GbdtParams params;
+    params.max_rounds = 100;
+    params.early_stopping_rounds = 0;
+    ml::Gbdt fitted(params);
+    Rng rng(6);
+    fitted.fit(bench_dataset(2000), rng);
+    return fitted;
+  }();
+  return model;
+}
+
+void BM_ForestPredict(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(1);
+  const ml::RandomForest& model = predict_forest_model();
+  const ml::Dataset d = bench_dataset(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict(d.x.row(i++ % d.size())));
+    benchmark::DoNotOptimize(model.predict_batch(d.x));
   }
 }
-BENCHMARK(BM_GbdtPredict);
+BENCHMARK(BM_ForestPredict)->Apply(row_args)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictWalker(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(1);
+  const ml::RandomForest& model = predict_forest_model();
+  const ml::Dataset d = bench_dataset(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> scores(d.size());
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < d.size(); ++r) {
+      double total = 0.0;
+      for (const ml::Tree& tree : model.trees()) {
+        total += tree.predict(d.x.row(r));
+      }
+      scores[r] = total / static_cast<double>(model.trees().size());
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_ForestPredictWalker)->Apply(row_args)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(1);
+  const ml::Gbdt& model = predict_gbdt_model();
+  const ml::Dataset d = bench_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(d.x));
+  }
+}
+BENCHMARK(BM_GbdtPredict)->Apply(row_args)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredictWalker(benchmark::State& state) {
+  ThreadPool::ScopedLimit cap(1);
+  const ml::Gbdt& model = predict_gbdt_model();
+  const Json json = model.to_json();
+  const double base = json.at("base_score").as_number();
+  const double lr = json.at("learning_rate").as_number();
+  const ml::Dataset d = bench_dataset(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> scores(d.size());
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < d.size(); ++r) {
+      double raw = base;
+      for (const ml::Tree& tree : model.trees()) {
+        raw += lr * tree.predict(d.x.row(r));
+      }
+      scores[r] = 1.0 / (1.0 + std::exp(-raw));
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_GbdtPredictWalker)->Apply(row_args)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ForestTrain(benchmark::State& state) {
   const ml::Dataset d = bench_dataset(2000);

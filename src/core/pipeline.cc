@@ -187,14 +187,11 @@ Experiment::Experiment(const sim::FleetTrace& fleet, PipelineConfig config)
              << train_set_.positives() << " positive)";
 }
 
-std::vector<float> Experiment::project(std::span<const float> features) const {
-  if (config_.active_features.empty()) {
-    return {features.begin(), features.end()};
-  }
-  std::vector<float> out;
+void Experiment::project_into(std::span<const float> features,
+                              std::vector<float>& out) const {
+  out.clear();
   out.reserve(config_.active_features.size());
   for (std::size_t col : config_.active_features) out.push_back(features[col]);
-  return out;
 }
 
 void Experiment::score_dimms(const ml::BinaryClassifier& model,
@@ -218,10 +215,19 @@ void Experiment::score_dimms(const ml::BinaryClassifier& model,
             eval_extractor_.extract(*dimm, fleet_->horizon);
         ScoredStream stream;
         ml::Matrix x;
+        std::vector<float> projected;  // reused scratch; only for ablations
+        const bool project = !config_.active_features.empty();
         for (const features::Sample& sample : samples) {
           stream.times.push_back(sample.time);
-          x.push_row(project(sample.features));
+          if (project) {
+            project_into(sample.features, projected);
+            x.push_row(projected);
+          } else {
+            x.push_row(sample.features);
+          }
         }
+        // predict_batch dispatches to the flat batched engine for the tree
+        // ensembles (FlatEnsemble) — same scores, one pass over x.
         stream.scores = x.rows() > 0 ? model.predict_batch(x)
                                      : std::vector<double>{};
         if (pooled_scores) {

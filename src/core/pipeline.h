@@ -91,7 +91,11 @@ class Experiment {
  private:
   Result run_risky_baseline();
 
-  std::vector<float> project(std::span<const float> features) const;
+  /// Ablation projection of one feature row into a caller-owned scratch
+  /// buffer (no per-row allocation); no-op copy avoided entirely by
+  /// score_dimms when no column restriction is active.
+  void project_into(std::span<const float> features,
+                    std::vector<float>& out) const;
 
   const sim::FleetTrace* fleet_;
   PipelineConfig config_;

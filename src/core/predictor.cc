@@ -43,6 +43,9 @@ double MemoryFailurePredictor::score(const sim::DimmTrace& dimm,
   if (!model_) throw std::logic_error("MemoryFailurePredictor: not trained");
   const std::vector<float> features = extractor_.features_at(dimm, t);
   if (features.empty()) return 0.0;
+  // Tree-ensemble models serve this through the compiled FlatEnsemble
+  // single-row walk (same score bits as the pointer walker, ~no pointer
+  // chasing); see DESIGN.md "Flattened ensemble inference".
   return model_->predict(features);
 }
 

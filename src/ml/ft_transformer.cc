@@ -240,6 +240,15 @@ void FtTransformer::fit(const Dataset& train, Rng& rng) {
   Adam adam({params_.lr, 0.9, 0.999, 1e-8, params_.weight_decay});
   const auto batch_rows = static_cast<std::size_t>(params_.batch_size);
 
+  // The validation fold is fixed across epochs: stage its matrix and labels
+  // once instead of re-materializing them for every early-stopping check.
+  Matrix val_x;
+  std::vector<int> val_labels;
+  for (std::size_t r : val_rows) {
+    val_x.push_row(train.x.row(r));
+    val_labels.push_back(train.y[r]);
+  }
+
   double best_val = 1e30;
   int bad_epochs = 0;
   // Snapshot of the best parameters (values only).
@@ -290,15 +299,8 @@ void FtTransformer::fit(const Dataset& train, Rng& rng) {
 
     // Early stopping on validation logloss.
     if (!val_rows.empty()) {
-      std::vector<double> scores;
-      std::vector<int> labels;
-      Matrix val_x;
-      for (std::size_t r : val_rows) {
-        val_x.push_row(train.x.row(r));
-        labels.push_back(train.y[r]);
-      }
-      scores = predict_batch(val_x);
-      const double loss = log_loss(scores, labels);
+      const std::vector<double> scores = predict_batch(val_x);
+      const double loss = log_loss(scores, val_labels);
       MEMFP_DEBUG << "ft-transformer epoch " << epoch << " val logloss "
                   << loss;
       if (loss < best_val - 1e-5) {

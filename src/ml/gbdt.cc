@@ -23,6 +23,7 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
   MEMFP_CHECK_EQ(train.y.size(), train.size());
   MEMFP_CHECK_EQ(train.weight.size(), train.size());
   trees_.clear();
+  flat_.invalidate();
 
   // Hold out a validation fold (by row; the caller already split by DIMM,
   // this fold only drives early stopping).
@@ -89,9 +90,21 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
     Tree tree = fit_gradient_tree(binned, rows, grad, hess, params_.tree, rng);
     if (tree.leaves() <= 1) break;  // no useful split left
 
-    pool.parallel_for(train.size(), [&](std::size_t r) {
-      score[r] += params_.learning_rate * tree.predict(train.x.row(r));
-    });
+    // Per-round rescoring: fold only the new tree's contribution into the
+    // running scores, over the binned training codes — the tree's
+    // thresholds come from binned.mapper, so the uint8 comparison reaches
+    // the identical leaf as the float walk (no re-quantization drift), and
+    // shrinkage is baked into the flat leaf values, so each score gains the
+    // identical `learning_rate * leaf` double the old per-row walk added.
+    FlatEnsemble round_flat = FlatEnsemble::build({&tree, 1},
+                                                  params_.learning_rate);
+    if (round_flat.bind(binned.mapper)) {
+      round_flat.accumulate_binned(binned.codes.data(), binned.rows, score);
+    } else {
+      // Unreachable for a tree trained on `binned`; kept as the documented
+      // float fallback of the binned fast path.
+      round_flat.accumulate(train.x, score);
+    }
     trees_.push_back(std::move(tree));
 
     if (val_count > 0) {
@@ -116,15 +129,24 @@ void Gbdt::fit(const Dataset& train, Rng& rng) {
 }
 
 double Gbdt::raw_score(std::span<const float> features) const {
-  double score = base_score_;
-  for (const Tree& tree : trees_) {
-    score += params_.learning_rate * tree.predict(features);
-  }
-  return score;
+  // Flat single-row traversal; the pre-scaled leaf values accumulate onto
+  // the prior in tree order, bit-identical to the pointer walker's
+  // `base + lr * leaf_0 + lr * leaf_1 + ...`.
+  if (trees_.empty()) return base_score_;
+  return flat_.get(trees_, params_.learning_rate)
+      ->predict_row(features, base_score_);
 }
 
 double Gbdt::predict(std::span<const float> features) const {
   return sigmoid(raw_score(features));
+}
+
+std::vector<double> Gbdt::predict_batch(const Matrix& x) const {
+  std::vector<double> scores(x.rows(), sigmoid(base_score_));
+  if (trees_.empty() || x.rows() == 0) return scores;
+  flat_.get(trees_, params_.learning_rate)->predict(x, base_score_, scores);
+  for (double& score : scores) score = sigmoid(score);
+  return scores;
 }
 
 Json Gbdt::to_json() const {
@@ -145,6 +167,7 @@ Gbdt Gbdt::from_json(const Json& json) {
   for (const Json& tree : json.at("trees").as_array()) {
     model.trees_.push_back(Tree::from_json(tree));
   }
+  model.flat_.invalidate();  // recompile lazily against the loaded trees
   return model;
 }
 

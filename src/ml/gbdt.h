@@ -4,6 +4,7 @@
 #pragma once
 
 #include "ml/decision_tree.h"
+#include "ml/flat_ensemble.h"
 #include "ml/model.h"
 
 namespace memfp::ml {
@@ -23,6 +24,10 @@ class Gbdt final : public BinaryClassifier {
 
   void fit(const Dataset& train, Rng& rng) override;
   double predict(std::span<const float> features) const override;
+  /// Flat-engine batch scoring (FlatEnsemble with shrinkage baked into the
+  /// leaf values), bit-identical to the serial per-row loop at any thread
+  /// count; compiled lazily, invalidated by fit()/from_json().
+  std::vector<double> predict_batch(const Matrix& x) const override;
   std::string name() const override { return "LightGBM"; }
   Json to_json() const override;
   static Gbdt from_json(const Json& json);
@@ -37,6 +42,7 @@ class Gbdt final : public BinaryClassifier {
   GbdtParams params_;
   double base_score_ = 0.0;  ///< log-odds prior
   std::vector<Tree> trees_;
+  LazyFlatEnsemble flat_;  ///< compiled inference form of trees_
 };
 
 }  // namespace memfp::ml

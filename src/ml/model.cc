@@ -1,0 +1,14 @@
+#include "ml/model.h"
+
+namespace memfp::ml {
+
+std::vector<double> BinaryClassifier::predict_batch(const Matrix& x) const {
+  std::vector<double> scores;
+  scores.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    scores.push_back(predict(x.row(r)));
+  }
+  return scores;
+}
+
+}  // namespace memfp::ml

@@ -23,8 +23,16 @@ class BinaryClassifier {
   /// P(label = 1) for one feature row.
   virtual double predict(std::span<const float> features) const = 0;
 
-  /// Batch prediction; the default loops, models may override with faster
-  /// batched paths.
+  /// Batch prediction over a row-major matrix.
+  ///
+  /// The default walks x.row(r) spans straight through predict() — no row
+  /// copies, no per-call staging buffers. Override contract: an override
+  /// exists only to be faster (batched layouts, parallel row blocks); it
+  /// must return scores bit-identical to this serial loop at any thread
+  /// count (the determinism contract — callers hash these scores), and it
+  /// must not retain the Matrix reference past the call. The tree
+  /// ensembles override with the compiled FlatEnsemble engine
+  /// (DESIGN.md "Flattened ensemble inference").
   virtual std::vector<double> predict_batch(const Matrix& x) const;
 
   virtual std::string name() const = 0;

@@ -15,6 +15,7 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
   MEMFP_CHECK_EQ(train.y.size(), train.size());
   MEMFP_CHECK_EQ(train.weight.size(), train.size());
   trees_.clear();
+  flat_.invalidate();
   // Columnar codes + weight bundles are shared read-only by every tree task;
   // each fit owns its private row arena and histogram pool.
   const BinnedDataset binned = BinnedDataset::build(train);
@@ -38,9 +39,20 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
 
 double RandomForest::predict(std::span<const float> features) const {
   if (trees_.empty()) return 0.0;
-  double total = 0.0;
-  for (const Tree& tree : trees_) total += tree.predict(features);
+  // Flat single-row traversal: the same comparisons, leaf values and
+  // tree-order summation as walking every Tree, so the score is bit-
+  // identical to the pointer walker (tests/test_flat_ensemble.cc).
+  const double total = flat_.get(trees_, 1.0)->predict_row(features, 0.0);
   return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_batch(const Matrix& x) const {
+  std::vector<double> scores(x.rows(), 0.0);
+  if (trees_.empty() || x.rows() == 0) return scores;
+  flat_.get(trees_, 1.0)->predict(x, 0.0, scores);
+  const auto count = static_cast<double>(trees_.size());
+  for (double& score : scores) score /= count;
+  return scores;
 }
 
 Json RandomForest::to_json() const {
@@ -57,6 +69,7 @@ RandomForest RandomForest::from_json(const Json& json) {
   for (const Json& tree : json.at("trees").as_array()) {
     model.trees_.push_back(Tree::from_json(tree));
   }
+  model.flat_.invalidate();  // recompile lazily against the loaded trees
   return model;
 }
 

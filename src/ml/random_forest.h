@@ -3,6 +3,7 @@
 #pragma once
 
 #include "ml/decision_tree.h"
+#include "ml/flat_ensemble.h"
 #include "ml/model.h"
 
 namespace memfp::ml {
@@ -19,6 +20,10 @@ class RandomForest final : public BinaryClassifier {
 
   void fit(const Dataset& train, Rng& rng) override;
   double predict(std::span<const float> features) const override;
+  /// Flat-engine batch scoring (FlatEnsemble), bit-identical to the serial
+  /// per-row loop at any thread count; the compiled form is built lazily on
+  /// first prediction and invalidated by fit()/from_json().
+  std::vector<double> predict_batch(const Matrix& x) const override;
   std::string name() const override { return "Random forest"; }
   Json to_json() const override;
   static RandomForest from_json(const Json& json);
@@ -32,6 +37,7 @@ class RandomForest final : public BinaryClassifier {
  private:
   RandomForestParams params_;
   std::vector<Tree> trees_;
+  LazyFlatEnsemble flat_;  ///< compiled inference form of trees_
 };
 
 }  // namespace memfp::ml

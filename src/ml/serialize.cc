@@ -7,15 +7,6 @@
 
 namespace memfp::ml {
 
-std::vector<double> BinaryClassifier::predict_batch(const Matrix& x) const {
-  std::vector<double> scores;
-  scores.reserve(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    scores.push_back(predict(x.row(r)));
-  }
-  return scores;
-}
-
 std::unique_ptr<BinaryClassifier> model_from_json(const Json& json) {
   const std::string& type = json.at("type").as_string();
   if (type == "random_forest") {

@@ -30,6 +30,8 @@ OnlinePredictionService::OnlinePredictionService(
 double OnlinePredictionService::score_features(
     dram::DimmId dimm, SimTime t, const std::vector<float>& features) {
   if (features.empty()) return 0.0;
+  // Registry models are tree ensembles (model_from_json), so this single-row
+  // score runs on the lazily compiled FlatEnsemble built at first tick.
   const double score = model_->predict(features);
   monitoring_->record_prediction(score);
   if (score >= threshold_) {

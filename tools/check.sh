@@ -76,7 +76,7 @@ run_bench() {
   # breaks and runtime crashes without recording numbers (run_benches.sh
   # owns the recorded trajectory).
   "$dir/bench/bench_micro" \
-    --benchmark_filter='^BM_(Extract|FeaturesAt|Gemm|GemmBt)$|^BM_(GbdtTrain|TreeTrain)/rows:2000' \
+    --benchmark_filter='^BM_(Extract|FeaturesAt|Gemm|GemmBt)$|^BM_(GbdtTrain|TreeTrain)/rows:2000|^BM_(ForestPredict|GbdtPredict)(Walker)?/rows:2000' \
     --benchmark_min_time=0.01 > /dev/null
 }
 

@@ -9,8 +9,14 @@
 #                       BM_Gemm / BM_GemmBt (dense kernel unrolling) vs the
 #                       pre-incremental baseline — rerun after changes to
 #                       src/features/ or src/ml/tensor.cc.
-# Each file records the frozen baseline, the current numbers, and the
-# speedup.
+#   BENCH_predict.json  BM_ForestPredict / BM_GbdtPredict row-count scaling
+#                       of the flat batched inference engine. The baseline
+#                       here is not frozen: the *Walker variants re-measure
+#                       the pointer-walking per-row loop in the same run, so
+#                       the speedup column compares the two layouts on
+#                       identical hardware/load — rerun after changes to
+#                       src/ml/flat_ensemble.* or the tree structures.
+# Each file records the baseline, the current numbers, and the speedup.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -135,6 +141,63 @@ out = {
     "context": raw.get("context", {}),
     "baseline_commit": "65df1cd",
     "baseline_ms": BASELINE_MS,
+    "current_ms": current,
+    "speedup": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(speedup, indent=2, sort_keys=True))
+EOF
+
+RAW_PREDICT="$BUILD/bench_predict_raw.json"
+"$BUILD/bench/bench_micro" \
+  --benchmark_filter='^BM_(ForestPredict|GbdtPredict)(Walker)?/' \
+  --benchmark_out="$RAW_PREDICT" --benchmark_out_format=json >&2
+
+python3 - "$RAW_PREDICT" "$ROOT/BENCH_predict.json" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Baseline = the *Walker benches from this same run: per row, walk every
+# pointer-linked tree (the pre-flat-ensemble inference path, semantics frozen
+# at commit 3f39d4a). Current = Model::predict_batch through the compiled
+# FlatEnsemble. Both run single-threaded on identical inputs, so the speedup
+# column isolates the flat-layout + 64-row-block batching win.
+BENCHES = ("BM_ForestPredict", "BM_GbdtPredict")
+
+baseline = {}
+current = {}
+for entry in raw.get("benchmarks", []):
+    name = entry["name"]  # e.g. BM_GbdtPredictWalker/rows:50000
+    if entry.get("run_type", "iteration") != "iteration":
+        continue
+    bench, _, arg = name.partition("/rows:")
+    if not arg:
+        continue
+    ms = round(entry["real_time"], 2)
+    if bench.endswith("Walker"):
+        baseline.setdefault(bench[: -len("Walker")], {})[arg] = ms
+    elif bench in BENCHES:
+        current.setdefault(bench, {})[arg] = ms
+
+speedup = {}
+for bench, rows in baseline.items():
+    for arg, base in rows.items():
+        now = current.get(bench, {}).get(arg)
+        if now:
+            speedup.setdefault(bench, {})[arg] = round(base / now, 2)
+
+out = {
+    "generated_by": "tools/run_benches.sh",
+    "threads": 1,
+    "context": raw.get("context", {}),
+    "baseline_commit": "3f39d4a",
+    "baseline_ms": baseline,
     "current_ms": current,
     "speedup": speedup,
 }
