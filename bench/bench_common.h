@@ -1,7 +1,10 @@
-// Shared helpers for the reproduction benches: scale control and formatting.
+// Shared helpers for the reproduction benches: scale control, formatting,
+// and process memory accounting.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/string_utils.h"
@@ -19,6 +22,26 @@ inline double bench_scale() {
 
 inline std::string fmt(double value, int precision = 2) {
   return format_double(value, precision);
+}
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Monotone over the process lifetime — read it after
+/// each phase to see which one set the high-water mark. Returns 0 on
+/// platforms without procfs, so callers must treat 0 as "unknown", not
+/// "tiny".
+inline std::size_t peak_rss_bytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib * 1024;
 }
 
 }  // namespace memfp::bench

@@ -1,0 +1,167 @@
+// Million-DIMM sharded fleet bench (ROADMAP item 1): drives the sharded
+// FleetDriver — simulate → encode/spill → stream back → extract → score —
+// at 10⁴ → 10⁶ DIMMs with a fixed shard size, and reports throughput
+// (DIMMs/sec, events/sec), codec density (encoded bytes/event) and measured
+// peak RSS per scale point. Because the shard size is constant, the working
+// set is too: peak RSS must stay flat while the fleet grows three decades —
+// memory boundedness as a number, not a claim.
+//
+// Usage: bench_fleet [BENCH_fleet.json]
+//   With a path, appends a machine-readable JSON trajectory (what
+//   tools/run_benches.sh records); without, prints the table only.
+//   MEMFP_BENCH_SCALE scales the DIMM targets (e.g. 0.01 for a smoke run).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/pipeline.h"
+#include "sim/fleet_driver.h"
+
+namespace {
+
+using namespace memfp;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct PointResult {
+  std::size_t target = 0;
+  std::size_t shards = 0;
+  sim::FleetDriverResult run;
+  double seconds = 0.0;
+  std::size_t peak_rss = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : nullptr;
+  const double scale = bench::bench_scale();
+
+  // A production-shaped model for the scoring stage: trained once on a
+  // small resident fleet, then deployed against every scale point.
+  const sim::FleetTrace train_fleet =
+      sim::simulate_fleet(sim::purley_scenario(/*seed=*/7).scaled(0.12));
+  core::PipelineConfig pipeline_config;
+  core::Experiment experiment(train_fleet, pipeline_config);
+  auto [eval, model] = experiment.run_with_model(core::Algorithm::kLightGbm);
+  const std::size_t rss_after_training = bench::peak_rss_bytes();
+
+  // Reduced horizon for the scale sweep: the per-DIMM event process is
+  // stationary, so 8 weeks measures the same per-event codec and pipeline
+  // costs as the paper's 39-week window at 1/5 the wall clock.
+  const SimTime bench_horizon = days(56);
+  const sim::ScenarioParams base = sim::purley_scenario(/*seed=*/1234);
+  const double base_total =
+      static_cast<double>(sim::plan_fleet(base).total());
+
+  const std::string store_dir =
+      (std::filesystem::temp_directory_path() / "memfp_fleet_bench").string();
+
+  std::vector<PointResult> points;
+  for (const double target_dimms : {1e4, 1e5, 1e6}) {
+    const double target = target_dimms * scale;
+    sim::ScenarioParams params = base.scaled(target / base_total);
+    params.horizon = bench_horizon;
+
+    sim::FleetDriverConfig config;
+    config.store_dir = store_dir;
+    config.keep_store = false;
+    config.windows.cadence = days(2);
+    // Fixed shard size: shard count grows with the fleet, the resident
+    // working set (one shard of traces + samples) does not.
+    const std::size_t total = sim::plan_fleet(params).total();
+    config.shards = std::max<std::size_t>(
+        1, (total + 16383) / 16384);
+
+    const auto start = std::chrono::steady_clock::now();
+    PointResult point;
+    point.run = sim::run_fleet_driver(params, config, model.get());
+    point.seconds = seconds_since(start);
+    point.target = static_cast<std::size_t>(std::llround(target));
+    point.shards = config.shards;
+    point.peak_rss = bench::peak_rss_bytes();
+    points.push_back(point);
+  }
+  std::filesystem::remove_all(store_dir);
+
+  TextTable table("Sharded fleet driver scale sweep (horizon 56 days)");
+  table.set_header({"DIMMs", "shards", "events", "DIMMs/s", "events/s",
+                    "bytes/event", "samples", "peak RSS MB", "sec"});
+  for (const PointResult& point : points) {
+    const auto events = static_cast<double>(point.run.events());
+    table.add_row(
+        {std::to_string(point.run.planned_dimms),
+         std::to_string(point.shards), std::to_string(point.run.events()),
+         bench::fmt(static_cast<double>(point.run.planned_dimms) /
+                    point.seconds, 0),
+         bench::fmt(events / point.seconds, 0),
+         bench::fmt(static_cast<double>(point.run.encoded_bytes) /
+                    std::max(1.0, events)),
+         std::to_string(point.run.samples),
+         bench::fmt(static_cast<double>(point.peak_rss) / (1024.0 * 1024.0),
+                    1),
+         bench::fmt(point.seconds)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("peak RSS after model training (pre-sweep floor): %s MB\n",
+              bench::fmt(static_cast<double>(rss_after_training) /
+                         (1024.0 * 1024.0), 1)
+                  .c_str());
+
+  if (out_path != nullptr) {
+    std::FILE* out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_fleet: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"generated_by\": \"tools/run_benches.sh\",\n"
+                 "  \"bench_scale\": %s,\n  \"horizon_days\": 56,\n"
+                 "  \"dimms_per_shard\": 16384,\n"
+                 "  \"rss_after_training_mb\": %s,\n  \"points\": [\n",
+                 bench::fmt(scale).c_str(),
+                 bench::fmt(static_cast<double>(rss_after_training) /
+                            (1024.0 * 1024.0), 1)
+                     .c_str());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PointResult& point = points[i];
+      const auto events = static_cast<double>(point.run.events());
+      std::fprintf(
+          out,
+          "    {\"planned_dimms\": %zu, \"observed_dimms\": %zu, "
+          "\"shards\": %zu, \"events\": %llu, \"samples\": %zu, "
+          "\"encoded_bytes\": %llu, \"bytes_per_event\": %s, "
+          "\"seconds\": %s, \"dimms_per_sec\": %s, \"events_per_sec\": %s, "
+          "\"peak_rss_mb\": %s}%s\n",
+          point.run.planned_dimms, point.run.observed_dimms, point.shards,
+          static_cast<unsigned long long>(point.run.events()),
+          point.run.samples,
+          static_cast<unsigned long long>(point.run.encoded_bytes),
+          bench::fmt(static_cast<double>(point.run.encoded_bytes) /
+                     std::max(1.0, events))
+              .c_str(),
+          bench::fmt(point.seconds).c_str(),
+          bench::fmt(static_cast<double>(point.run.planned_dimms) /
+                     point.seconds, 0)
+              .c_str(),
+          bench::fmt(events / point.seconds, 0).c_str(),
+          bench::fmt(static_cast<double>(point.peak_rss) / (1024.0 * 1024.0),
+                     1)
+              .c_str(),
+          i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+  return 0;
+}

@@ -1,8 +1,11 @@
 #include "mlops/cicd.h"
 
+#include <bit>
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "features/extractor.h"
+#include "sim/trace_store.h"
 
 namespace memfp::mlops {
 
@@ -14,7 +17,12 @@ TrainingRunReport run_training_pipeline(const DataLake& lake,
     throw std::invalid_argument(
         "run_training_pipeline: the rule baseline is not deployable");
   }
-  const sim::FleetTrace& fleet = lake.get(partition);
+  // Training consumes the whole partition; a spilled one is decoded into a
+  // transient resident copy for the duration of the run.
+  sim::FleetTrace decoded;
+  if (lake.spilled(partition)) decoded = lake.materialize(partition);
+  const sim::FleetTrace& fleet =
+      lake.spilled(partition) ? decoded : lake.get(partition);
   core::Experiment experiment(fleet, config.pipeline);
   auto [result, model] = experiment.run_with_model(config.algorithm);
 
@@ -33,6 +41,41 @@ TrainingRunReport run_training_pipeline(const DataLake& lake,
   MEMFP_INFO << "cicd: trained " << result.algorithm << " on " << partition
              << " (F1 " << result.f1 << "), version " << report.version
              << (report.promoted ? " promoted" : " held in staging");
+  return report;
+}
+
+BatchScoringReport run_batch_scoring(const DataLake& lake,
+                                     const std::string& partition,
+                                     const ml::BinaryClassifier& model,
+                                     double threshold,
+                                     const features::PredictionWindows&
+                                         windows) {
+  const features::FeatureExtractor extractor(windows);
+  const DataLake::PartitionInfo info = lake.info(partition);
+
+  BatchScoringReport report;
+  report.score_hash = sim::kFnvOffset;
+  lake.for_each_dimm(partition, [&](const sim::DimmTrace& dimm) {
+    ++report.dimms;
+    const std::vector<features::Sample> samples =
+        extractor.extract(dimm, info.horizon);
+    if (samples.empty()) return;
+    ml::Matrix x;
+    for (const features::Sample& sample : samples) {
+      x.push_row(sample.features);
+    }
+    const std::vector<double> scores = model.predict_batch(x);
+    report.samples += scores.size();
+    for (const double score : scores) {
+      report.score_sum += score;
+      report.alarms += score >= threshold ? 1 : 0;
+      report.score_hash = sim::fnv1a_u64(
+          report.score_hash, std::bit_cast<std::uint64_t>(score));
+    }
+  });
+  MEMFP_INFO << "cicd: batch-scored " << partition << " (" << report.dimms
+             << " DIMMs, " << report.samples << " samples, " << report.alarms
+             << " alarms)";
   return report;
 }
 

@@ -25,12 +25,36 @@ struct TrainingRunReport {
 };
 
 /// Runs one end-to-end training + registration + gated promotion cycle on a
-/// lake partition. Throws std::out_of_range for a missing partition and
-/// std::invalid_argument for the trace-based rule baseline (it is not a
-/// deployable feature-vector model).
+/// lake partition (resident or spilled — a spilled partition is decoded
+/// once for the training run). Throws std::out_of_range for a missing
+/// partition and std::invalid_argument for the trace-based rule baseline
+/// (it is not a deployable feature-vector model).
 TrainingRunReport run_training_pipeline(const DataLake& lake,
                                         const std::string& partition,
                                         ModelRegistry& registry,
                                         const TrainingPipelineConfig& config);
+
+struct BatchScoringReport {
+  std::size_t dimms = 0;
+  std::size_t samples = 0;
+  /// Samples whose score crossed the alarm threshold.
+  std::size_t alarms = 0;
+  double score_sum = 0.0;
+  /// FNV-1a fold of every score's bits in DIMM/sample order. Byte-identical
+  /// for a resident partition and its spilled twin (the codec round-trips
+  /// traces exactly and predict_batch is bit-stable at any thread count).
+  std::uint64_t score_hash = 0;
+};
+
+/// Scores every DIMM of a partition with a deployed model, streaming one
+/// DIMM at a time through the lake (so a spilled million-DIMM partition
+/// never materializes). The inference backfill path of the paper's Fig 6
+/// Continuous Deployment loop.
+BatchScoringReport run_batch_scoring(const DataLake& lake,
+                                     const std::string& partition,
+                                     const ml::BinaryClassifier& model,
+                                     double threshold,
+                                     const features::PredictionWindows&
+                                         windows = {});
 
 }  // namespace memfp::mlops

@@ -184,27 +184,52 @@ dram::ErrorPattern sample_ue_pattern(dram::Platform platform,
   return pattern;
 }
 
-namespace {
+FleetPlan plan_fleet(const ScenarioParams& params) {
+  FleetPlan plan;
+  plan.benign = std::max(0, params.ce_dimms);
+  // Degrading population: escalators that cross within the horizon, plus a
+  // censored tail that crosses after it (they look risky but never fail —
+  // the honest negatives that make the prediction task hard).
+  plan.escalators = std::max(
+      0, static_cast<int>(std::lround(
+             params.predictable_ue_dimms /
+             std::max(1e-6, 1.0 - params.censored_escalator_fraction))));
+  plan.sudden = std::max(0, params.sudden_ue_dimms);
+  return plan;
+}
 
-/// One planned DIMM: everything decided up-front on the builder thread. The
-/// per-DIMM RNG is forked serially (in the exact order the serial builder
-/// used), so simulating jobs in any order — or concurrently — reproduces the
-/// serial fleet byte for byte.
-struct DimmJob {
-  enum class Kind { kBenign, kEscalator, kSudden };
-  Kind kind = Kind::kBenign;
-  dram::DimmId id = 0;
-  Rng rng{0};
-};
+FleetPlanner::FleetPlanner(const ScenarioParams& params)
+    : plan_(plan_fleet(params)), rng_(params.seed) {}
 
-DimmTrace run_dimm_job(const DimmJob& job, const ScenarioParams& params,
-                       const DimmSimulator& simulator,
-                       const dram::Geometry& geometry) {
+std::vector<PlannedDimm> FleetPlanner::take(std::size_t count) {
+  const std::size_t total = plan_.total();
+  const std::size_t end = std::min(total, next_ + count);
+  std::vector<PlannedDimm> jobs;
+  jobs.reserve(end - next_);
+  const auto benign = static_cast<std::size_t>(plan_.benign);
+  const auto degrading = benign + static_cast<std::size_t>(plan_.escalators);
+  for (; next_ < end; ++next_) {
+    const DimmKind kind = next_ < benign      ? DimmKind::kBenign
+                          : next_ < degrading ? DimmKind::kEscalator
+                                              : DimmKind::kSudden;
+    jobs.push_back({kind, static_cast<dram::DimmId>(next_), rng_.fork()});
+  }
+  return jobs;
+}
+
+bool enters_observed_dataset(DimmKind kind, const DimmTrace& trace) {
+  return kind == DimmKind::kSudden || trace.has_ce() || trace.has_ue();
+}
+
+DimmTrace simulate_planned_dimm(const PlannedDimm& job,
+                                const ScenarioParams& params,
+                                const DimmSimulator& simulator,
+                                const dram::Geometry& geometry) {
   Rng dimm_rng = job.rng;
   const auto server = static_cast<std::uint32_t>(
       job.id / 2 % static_cast<std::uint32_t>(params.servers));
   switch (job.kind) {
-    case DimmJob::Kind::kBenign: {
+    case DimmKind::kBenign: {
       const dram::DimmConfig config = sample_dimm_config(
           params.platform, dimm_rng, /*degraded_bias=*/false);
       std::vector<Fault> faults{make_benign_fault(params, dimm_rng)};
@@ -215,7 +240,7 @@ DimmTrace run_dimm_job(const DimmJob& job, const ScenarioParams& params,
       trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/false);
       return trace;
     }
-    case DimmJob::Kind::kEscalator: {
+    case DimmKind::kEscalator: {
       const dram::DimmConfig config = sample_dimm_config(
           params.platform, dimm_rng, /*degraded_bias=*/true);
       const bool censored =
@@ -243,7 +268,7 @@ DimmTrace run_dimm_job(const DimmJob& job, const ScenarioParams& params,
       trace.workload = sample_workload(dimm_rng, /*degraded_bias=*/true);
       return trace;
     }
-    case DimmJob::Kind::kSudden: {
+    case DimmKind::kSudden: {
       DimmTrace trace;
       trace.id = job.id;
       trace.server_id = server;
@@ -264,11 +289,8 @@ DimmTrace run_dimm_job(const DimmJob& job, const ScenarioParams& params,
   return {};
 }
 
-}  // namespace
-
 FleetTrace simulate_fleet(const ScenarioParams& params,
                           const DimmSimParams& sim_params) {
-  Rng rng(params.seed);
   DimmSimParams effective = sim_params;
   effective.horizon = params.horizon;
   const DimmSimulator simulator(params.platform, effective);
@@ -279,28 +301,10 @@ FleetTrace simulate_fleet(const ScenarioParams& params,
   fleet.horizon = params.horizon;
 
   // Plan the population serially: ids and RNG forks happen in the same order
-  // the serial builder used, so the jobs are scheduling-independent.
-  std::vector<DimmJob> jobs;
-  const int total_escalators = static_cast<int>(std::lround(
-      params.predictable_ue_dimms /
-      std::max(1e-6, 1.0 - params.censored_escalator_fraction)));
-  jobs.reserve(static_cast<std::size_t>(
-      std::max(0, params.ce_dimms) + std::max(0, total_escalators) +
-      std::max(0, params.sudden_ue_dimms)));
-  dram::DimmId next_id = 0;
-  for (int i = 0; i < params.ce_dimms; ++i) {
-    jobs.push_back({DimmJob::Kind::kBenign, next_id++, rng.fork()});
-  }
-  // Degrading population: escalators that cross within the horizon, plus a
-  // censored tail that crosses after it (they look risky but never fail —
-  // the honest negatives that make the prediction task hard).
-  for (int i = 0; i < total_escalators; ++i) {
-    jobs.push_back({DimmJob::Kind::kEscalator, next_id++, rng.fork()});
-  }
-  // Sudden UEs: component failures with no CE warning (paper Section II-A).
-  for (int i = 0; i < params.sudden_ue_dimms; ++i) {
-    jobs.push_back({DimmJob::Kind::kSudden, next_id++, rng.fork()});
-  }
+  // the serial builder used, so the jobs are scheduling-independent. (The
+  // sharded FleetDriver consumes the identical plan in id-range chunks.)
+  FleetPlanner planner(params);
+  const std::vector<PlannedDimm> jobs = planner.take(planner.plan().total());
 
   // Simulate every DIMM into its own slot (one task per DIMM), then merge in
   // id order so the trace layout matches the serial path exactly.
@@ -308,13 +312,12 @@ FleetTrace simulate_fleet(const ScenarioParams& params,
   ThreadPool::global().parallel_for(
       jobs.size(),
       [&](std::size_t i) {
-        traces[i] = run_dimm_job(jobs[i], params, simulator, geometry);
+        traces[i] = simulate_planned_dimm(jobs[i], params, simulator, geometry);
       },
       /*grain=*/1);
   for (std::size_t i = 0; i < traces.size(); ++i) {
     // Only observed DIMMs enter the dataset; sudden UEs always count.
-    if (jobs[i].kind == DimmJob::Kind::kSudden || traces[i].has_ce() ||
-        traces[i].has_ue()) {
+    if (enters_observed_dataset(jobs[i].kind, traces[i])) {
       fleet.dimms.push_back(std::move(traces[i]));
     }
   }

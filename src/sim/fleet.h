@@ -1,7 +1,15 @@
 // Fleet builder: expands a calibrated ScenarioParams into a population of
 // DIMMs with sampled configurations and faults, simulates each DIMM, and
 // returns the observable FleetTrace (the synthetic production dataset).
+//
+// The population plan is exposed (FleetPlanner) so the sharded FleetDriver
+// can materialize any contiguous id range of the same fleet without holding
+// the rest: consuming the plan in chunks yields exactly the per-DIMM RNG
+// streams the in-memory builder forks, so both paths produce byte-identical
+// traces.
 #pragma once
+
+#include <vector>
 
 #include "sim/dimm_sim.h"
 #include "sim/scenario.h"
@@ -12,6 +20,67 @@ namespace memfp::sim {
 /// Runs the full scenario. Deterministic in params.seed.
 FleetTrace simulate_fleet(const ScenarioParams& params,
                           const DimmSimParams& sim_params = {});
+
+/// Population plan derived purely from ScenarioParams (no RNG draws): DIMM
+/// ids are assigned benign first, then escalators (including the censored
+/// tail that crosses after the horizon), then sudden UEs.
+struct FleetPlan {
+  int benign = 0;
+  int escalators = 0;
+  int sudden = 0;
+  std::size_t total() const {
+    return static_cast<std::size_t>(benign) +
+           static_cast<std::size_t>(escalators) +
+           static_cast<std::size_t>(sudden);
+  }
+};
+
+FleetPlan plan_fleet(const ScenarioParams& params);
+
+/// Hidden population kind of a planned DIMM (ground truth, pre-simulation).
+enum class DimmKind { kBenign, kEscalator, kSudden };
+
+/// One planned DIMM: everything decided up-front on the planning cursor. The
+/// per-DIMM RNG is forked serially in id order (the exact order the serial
+/// builder used), so simulating jobs in any order — or concurrently — still
+/// reproduces the serial fleet byte for byte.
+struct PlannedDimm {
+  DimmKind kind = DimmKind::kBenign;
+  dram::DimmId id = 0;
+  Rng rng{0};
+};
+
+/// Serial-fork cursor over a scenario's planned population. Successive
+/// take() calls hand out contiguous id ranges; chunking is immaterial —
+/// take(n) ∘ take(m) and take(n + m) produce the same jobs. This is the
+/// determinism hinge of the sharded driver: a shard's jobs depend only on
+/// (params.seed, id range), never on shard count.
+class FleetPlanner {
+ public:
+  explicit FleetPlanner(const ScenarioParams& params);
+
+  const FleetPlan& plan() const { return plan_; }
+  /// Number of jobs handed out so far (== the next DIMM id).
+  std::size_t produced() const { return next_; }
+  /// The next `count` planned DIMMs (clamped to the remaining population).
+  std::vector<PlannedDimm> take(std::size_t count);
+
+ private:
+  FleetPlan plan_;
+  Rng rng_;
+  std::size_t next_ = 0;
+};
+
+/// Simulates one planned DIMM. Shared by simulate_fleet (whole population at
+/// once) and the sharded FleetDriver (one id range at a time).
+DimmTrace simulate_planned_dimm(const PlannedDimm& job,
+                                const ScenarioParams& params,
+                                const DimmSimulator& simulator,
+                                const dram::Geometry& geometry);
+
+/// Observed-dataset filter (mirrors the field datasets: only DIMMs that
+/// logged at least one CE or UE appear; sudden UEs always count).
+bool enters_observed_dataset(DimmKind kind, const DimmTrace& trace);
 
 /// Samples a DIMM configuration for the platform (manufacturer mix, process
 /// node, frequency, capacity). `degraded_bias` skews the manufacturer mix

@@ -1,0 +1,193 @@
+#include "sim/fleet_driver.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "dram/geometry.h"
+#include "ml/dataset.h"
+
+namespace memfp::sim {
+
+std::uint64_t fold_sample_hash(std::uint64_t h,
+                               const features::Sample& sample) {
+  h = fnv1a_u64(h, sample.dimm);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(sample.time));
+  h = fnv1a_u64(h,
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(sample.label)));
+  for (const float value : sample.features) {
+    h = fnv1a_u64(h, std::bit_cast<std::uint32_t>(value));
+  }
+  return h;
+}
+
+namespace {
+
+void fold_scores(const ml::BinaryClassifier* model, const ml::Matrix& x,
+                 FleetDriverResult& result) {
+  if (model == nullptr || x.rows() == 0) return;
+  // predict_batch is contractually bit-identical to the serial per-row walk
+  // at any thread count, so batching per shard (here) vs per fleet (the
+  // reference) cannot change a single score bit.
+  const std::vector<double> scores = model->predict_batch(x);
+  for (const double score : scores) {
+    result.score_hash =
+        fnv1a_u64(result.score_hash, std::bit_cast<std::uint64_t>(score));
+    result.score_sum += score;
+  }
+}
+
+}  // namespace
+
+FleetDriverResult run_fleet_driver(const ScenarioParams& params,
+                                   const FleetDriverConfig& config,
+                                   const ml::BinaryClassifier* model,
+                                   const DimmSimParams& sim_params) {
+  MEMFP_CHECK(!config.store_dir.empty())
+      << "run_fleet_driver: config.store_dir must name a spill directory";
+  std::filesystem::create_directories(config.store_dir);
+
+  DimmSimParams effective = sim_params;
+  effective.horizon = params.horizon;
+  const DimmSimulator simulator(params.platform, effective);
+  const dram::Geometry geometry = dram::Geometry::ddr4_x4();
+  const features::FeatureExtractor extractor(config.windows);
+
+  ThreadPool::ScopedLimit limit(config.num_threads);
+
+  FleetDriverResult result;
+  FleetPlanner planner(params);
+  const std::size_t total = planner.plan().total();
+  result.planned_dimms = total;
+  const std::size_t shards = std::max<std::size_t>(1, config.shards);
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Contiguous near-equal id ranges; the planner cursor guarantees shard
+    // s's jobs depend only on (seed, id range), never on the split.
+    const std::size_t begin = s * total / shards;
+    const std::size_t end = (s + 1) * total / shards;
+    MEMFP_CHECK_EQ(planner.produced(), begin);
+    const std::vector<PlannedDimm> jobs = planner.take(end - begin);
+    if (jobs.empty()) continue;
+
+    // Simulate the shard into index slots (one task per DIMM, as the
+    // in-memory builder does).
+    std::vector<DimmTrace> traces(jobs.size());
+    ThreadPool::global().parallel_for(
+        jobs.size(),
+        [&](std::size_t i) {
+          traces[i] =
+              simulate_planned_dimm(jobs[i], params, simulator, geometry);
+        },
+        /*grain=*/1);
+
+    // Encode + spill the observed DIMMs in id order, folding the canonical
+    // trace hash as the bytes go out.
+    const std::string path = shard_path(config.store_dir, s);
+    ShardWriter writer(path, params.platform, params.horizon);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (!enters_observed_dataset(jobs[i].kind, traces[i])) continue;
+      result.trace_hash =
+          fnv1a_u64(result.trace_hash, writer.append(traces[i]));
+    }
+    const ShardStats stats = writer.finish();
+    result.observed_dimms += stats.dimms;
+    result.ce_records += stats.ce_records;
+    result.mem_events += stats.mem_events;
+    result.ue_records += stats.ue_records;
+    result.suppressed_ces += stats.suppressed_ces;
+    result.encoded_bytes += stats.file_bytes;
+
+    // Drop the simulated residents: from here on the shard is read back
+    // from its encoded form, exactly as a later training run would.
+    traces.clear();
+    traces.shrink_to_fit();
+
+    const TraceReader reader(path);
+    std::vector<std::vector<features::Sample>> samples(reader.dimm_count());
+    ThreadPool::global().parallel_for(
+        reader.dimm_count(),
+        [&](std::size_t i) {
+          samples[i] = extractor.extract(reader.read_dimm(i), params.horizon);
+        },
+        /*grain=*/1);
+
+    // Fold features and score the shard in one flat batch, in id order.
+    ml::Matrix x;
+    for (const std::vector<features::Sample>& dimm_samples : samples) {
+      for (const features::Sample& sample : dimm_samples) {
+        result.feature_hash = fold_sample_hash(result.feature_hash, sample);
+        x.push_row(sample.features);
+      }
+    }
+    result.samples += x.rows();
+    fold_scores(model, x, result);
+
+    if (config.keep_store) {
+      result.shard_files.push_back(path);
+    } else {
+      std::remove(path.c_str());
+    }
+  }
+  MEMFP_CHECK_EQ(planner.produced(), total);
+
+  MEMFP_INFO << "fleet driver: " << result.planned_dimms << " planned, "
+             << result.observed_dimms << " observed across " << shards
+             << " shards, " << result.events() << " events, "
+             << result.encoded_bytes << " encoded bytes, " << result.samples
+             << " samples";
+  return result;
+}
+
+FleetDriverResult reference_fleet_result(const ScenarioParams& params,
+                                         const features::PredictionWindows&
+                                             windows,
+                                         const ml::BinaryClassifier* model,
+                                         const DimmSimParams& sim_params) {
+  const FleetTrace fleet = simulate_fleet(params, sim_params);
+  const features::FeatureExtractor extractor(windows);
+
+  FleetDriverResult result;
+  result.planned_dimms = plan_fleet(params).total();
+  result.observed_dimms = fleet.dimms.size();
+
+  std::vector<std::vector<features::Sample>> samples(fleet.dimms.size());
+  ThreadPool::global().parallel_for(
+      fleet.dimms.size(),
+      [&](std::size_t i) {
+        samples[i] = extractor.extract(fleet.dimms[i], params.horizon);
+      },
+      /*grain=*/1);
+
+  std::vector<std::uint8_t> scratch;
+  ml::Matrix x;
+  for (std::size_t i = 0; i < fleet.dimms.size(); ++i) {
+    const DimmTrace& dimm = fleet.dimms[i];
+    result.ce_records += dimm.ces.size();
+    result.mem_events += dimm.events.size();
+    result.ue_records += dimm.ue.has_value() ? 1 : 0;
+    result.suppressed_ces += dimm.suppressed_ce_count;
+    // Payload bytes only — the sharded path additionally counts each
+    // shard's header/index/footer framing, so encoded_bytes is a stat, not
+    // part of the byte-identity contract (the hashes are).
+    scratch.clear();
+    encode_dimm_record(dimm, scratch);
+    result.encoded_bytes += scratch.size();
+    result.trace_hash = fnv1a_u64(result.trace_hash, trace_content_hash(dimm));
+    for (const features::Sample& sample : samples[i]) {
+      result.feature_hash = fold_sample_hash(result.feature_hash, sample);
+      x.push_row(sample.features);
+    }
+  }
+  result.samples += x.rows();
+  fold_scores(model, x, result);
+  return result;
+}
+
+}  // namespace memfp::sim

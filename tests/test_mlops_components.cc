@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "mlops/alarm.h"
 #include "mlops/data_lake.h"
+#include "sim/trace_store.h"
 #include "mlops/feature_store.h"
 #include "mlops/model_registry.h"
 #include "mlops/monitoring.h"
@@ -38,6 +41,171 @@ TEST(DataLake, ReIngestReplaces) {
   lake.ingest("p", std::move(bigger));
   EXPECT_EQ(lake.get("p").dimms.size(), 3u);
   EXPECT_EQ(lake.partitions().size(), 1u);
+}
+
+sim::FleetTrace tiny_fleet(int dimms, int ces_per_dimm) {
+  sim::FleetTrace fleet;
+  fleet.platform = dram::Platform::kIntelPurley;
+  fleet.horizon = days(30);
+  for (int d = 0; d < dimms; ++d) {
+    sim::DimmTrace dimm;
+    dimm.id = static_cast<dram::DimmId>(d);
+    dimm.config.part_number = "PN-tiny";
+    for (int i = 0; i < ces_per_dimm; ++i) {
+      dram::CeEvent ce;
+      ce.time = days(1) + hours(d) + minutes(i);
+      ce.pattern.add({0, 0});
+      dimm.ces.push_back(ce);
+    }
+    fleet.dimms.push_back(std::move(dimm));
+  }
+  return fleet;
+}
+
+TEST(DataLake, RecordCountCachedAcrossIdempotentBackfill) {
+  DataLake lake;
+  lake.ingest("p1", tiny_fleet(3, 4));
+  lake.ingest("p2", tiny_fleet(2, 5));
+  EXPECT_EQ(lake.record_count(), 3u * 4u + 2u * 5u);
+
+  // Idempotent backfill: re-ingesting the same snapshot must replace, not
+  // double-count (the cached counter regression this guards against).
+  lake.ingest("p1", tiny_fleet(3, 4));
+  EXPECT_EQ(lake.record_count(), 3u * 4u + 2u * 5u);
+  lake.ingest("p1", tiny_fleet(1, 2));
+  EXPECT_EQ(lake.record_count(), 1u * 2u + 2u * 5u);
+}
+
+TEST(DataLake, SpillOnIngestRoundTrip) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "memfp_lake_spill_test";
+  std::filesystem::remove_all(dir);
+
+  DataLake lake;
+  lake.set_spill_policy({dir.string(), /*max_resident_dimms=*/2,
+                         /*dimms_per_shard=*/2});
+  const sim::FleetTrace original = tiny_fleet(5, 3);
+  lake.ingest("bmc/purley/big", tiny_fleet(5, 3));
+
+  EXPECT_TRUE(lake.spilled("bmc/purley/big"));
+  EXPECT_EQ(lake.record_count(), 15u);
+  EXPECT_THROW(lake.get("bmc/purley/big"), std::logic_error);
+  const DataLake::PartitionInfo info = lake.info("bmc/purley/big");
+  EXPECT_EQ(info.dimms, 5u);
+  EXPECT_EQ(info.horizon, days(30));
+  EXPECT_TRUE(info.spilled);
+
+  // Stream-on-read sees the identical DIMM sequence...
+  std::size_t next = 0;
+  lake.for_each_dimm("bmc/purley/big", [&](const sim::DimmTrace& dimm) {
+    ASSERT_LT(next, original.dimms.size());
+    EXPECT_EQ(sim::trace_content_hash(dimm),
+              sim::trace_content_hash(original.dimms[next]));
+    ++next;
+  });
+  EXPECT_EQ(next, original.dimms.size());
+
+  // ...and materialize round-trips the whole snapshot.
+  const sim::FleetTrace decoded = lake.materialize("bmc/purley/big");
+  ASSERT_EQ(decoded.dimms.size(), original.dimms.size());
+  EXPECT_EQ(decoded.horizon, original.horizon);
+
+  // A small backfill replaces the spill with a resident partition, deletes
+  // the dead shard files, and prunes the emptied generation directory.
+  lake.ingest("bmc/purley/big", tiny_fleet(1, 1));
+  EXPECT_FALSE(lake.spilled("bmc/purley/big"));
+  EXPECT_EQ(lake.record_count(), 1u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DataLake, ReIngestSpilledPartitionWithSpill) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "memfp_lake_respill_test";
+  std::filesystem::remove_all(dir);
+
+  DataLake lake;
+  lake.set_spill_policy({dir.string(), /*max_resident_dimms=*/2,
+                         /*dimms_per_shard=*/2});
+  lake.ingest("p", tiny_fleet(5, 3));
+  ASSERT_TRUE(lake.spilled("p"));
+
+  // Idempotent backfill of a live spill: the replacement generation must
+  // survive the deletion of the old generation's shard files (the two must
+  // never share paths).
+  const sim::FleetTrace second = tiny_fleet(6, 2);
+  lake.ingest("p", tiny_fleet(6, 2));
+  EXPECT_TRUE(lake.spilled("p"));
+  EXPECT_EQ(lake.record_count(), 12u);
+  std::size_t next = 0;
+  lake.for_each_dimm("p", [&](const sim::DimmTrace& dimm) {
+    ASSERT_LT(next, second.dimms.size());
+    EXPECT_EQ(sim::trace_content_hash(dimm),
+              sim::trace_content_hash(second.dimms[next]));
+    ++next;
+  });
+  EXPECT_EQ(next, second.dimms.size());
+  EXPECT_EQ(lake.materialize("p").dimms.size(), 6u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DataLake, SpillDirsCollisionFreeAcrossPartitions) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "memfp_lake_collide_test";
+  std::filesystem::remove_all(dir);
+
+  // "a/b" and "a_b" sanitize to the same leaf; their spills must not share
+  // shard files (neither overwriting on ingest nor deleting on replace).
+  DataLake lake;
+  lake.set_spill_policy({dir.string(), /*max_resident_dimms=*/0,
+                         /*dimms_per_shard=*/2});
+  const sim::FleetTrace slash = tiny_fleet(3, 2);
+  const sim::FleetTrace underscore = tiny_fleet(3, 5);
+  lake.ingest("a/b", tiny_fleet(3, 2));
+  lake.ingest("a_b", tiny_fleet(3, 5));
+
+  std::size_t next = 0;
+  lake.for_each_dimm("a/b", [&](const sim::DimmTrace& dimm) {
+    ASSERT_LT(next, slash.dimms.size());
+    EXPECT_EQ(sim::trace_content_hash(dimm),
+              sim::trace_content_hash(slash.dimms[next]));
+    ++next;
+  });
+  EXPECT_EQ(next, slash.dimms.size());
+
+  // Replacing one partition must leave the other's files intact.
+  lake.ingest("a/b", tiny_fleet(4, 1));
+  next = 0;
+  lake.for_each_dimm("a_b", [&](const sim::DimmTrace& dimm) {
+    ASSERT_LT(next, underscore.dimms.size());
+    EXPECT_EQ(sim::trace_content_hash(dimm),
+              sim::trace_content_hash(underscore.dimms[next]));
+    ++next;
+  });
+  EXPECT_EQ(next, underscore.dimms.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DataLake, AdoptExistingShardSet) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "memfp_lake_adopt_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const sim::FleetTrace fleet = tiny_fleet(4, 2);
+  {
+    sim::ShardWriter writer(sim::shard_path(dir.string(), 0),
+                            fleet.platform, fleet.horizon);
+    for (const sim::DimmTrace& dimm : fleet.dimms) writer.append(dimm);
+    writer.finish();
+  }
+  DataLake lake;
+  lake.ingest_shards("adopted", dir.string());
+  EXPECT_TRUE(lake.spilled("adopted"));
+  EXPECT_EQ(lake.record_count(), 8u);
+  EXPECT_EQ(lake.info("adopted").dimms, 4u);
+  EXPECT_THROW(lake.ingest_shards("empty", (dir / "nope").string()),
+               std::invalid_argument);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FeatureStore, CatalogListsAllFeatures) {

@@ -9,8 +9,15 @@
 #                    under TSan is ~20x and adds no extra coverage)
 #   leg 5  bench     bench_micro smoke run (tracked benches execute with
 #                    minimal iterations, so bench binaries can't bit-rot)
+#                    plus a tiny-scale bench_fleet pass (the sharded
+#                    driver's spill→stream→score loop end to end)
 #   leg 6  tidy      clang-tidy over src/ (advisory; skipped when the
 #                    binary is not installed)
+#
+# Sanitizer coverage of the new trace-store/fleet-driver surface: the asan
+# leg runs the full ctest (codec round-trip + corruption death tests), and
+# the tsan leg's Determinism filter matches the FleetDriverDeterminism
+# suites (parallel simulate/extract across shards).
 #
 # Every leg builds out-of-source under build-check/ so the developer build/
 # tree is never poisoned by sanitizer objects. Usage:
@@ -78,6 +85,10 @@ run_bench() {
   "$dir/bench/bench_micro" \
     --benchmark_filter='^BM_(Extract|FeaturesAt|Gemm|GemmBt)$|^BM_(GbdtTrain|TreeTrain)/rows:2000|^BM_(ForestPredict|GbdtPredict)(Walker)?/rows:2000' \
     --benchmark_min_time=0.01 > /dev/null
+  # Fleet smoke: a few hundred DIMMs through simulate → spill → stream →
+  # extract → score, so the sharded driver can't bit-rot between perf runs.
+  cmake --build "$dir" -j "$JOBS" --target bench_fleet
+  MEMFP_BENCH_SCALE=0.02 "$dir/bench/bench_fleet" > /dev/null
 }
 
 run_tidy() {

@@ -16,7 +16,15 @@
 #                       the speedup column compares the two layouts on
 #                       identical hardware/load — rerun after changes to
 #                       src/ml/flat_ensemble.* or the tree structures.
+#   BENCH_fleet.json    sharded fleet driver scale sweep (10^4 -> 10^6
+#                       DIMMs, 56-day horizon): DIMMs/sec, events/sec,
+#                       encoded bytes/event and peak RSS per point — rerun
+#                       after changes to src/sim/trace_store.* or
+#                       src/sim/fleet_driver.*. Written by bench_fleet
+#                       itself; expect ~15 minutes for the full sweep.
 # Each file records the baseline, the current numbers, and the speedup.
+# The sanitizer refusal below covers every emitted file, BENCH_fleet.json
+# included: instrumented builds never record numbers.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -206,3 +214,7 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(json.dumps(speedup, indent=2, sort_keys=True))
 EOF
+
+cmake --build "$BUILD" -j --target bench_fleet
+"$BUILD/bench/bench_fleet" "$ROOT/BENCH_fleet.json" >&2
+python3 -c "import json,sys; print(json.dumps(json.load(open(sys.argv[1]))['points'], indent=2))" "$ROOT/BENCH_fleet.json"
