@@ -2,6 +2,8 @@
 // and process memory accounting.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +12,15 @@
 #include "common/string_utils.h"
 
 namespace memfp::bench {
+
+/// CPUs currently online (sysconf), 0 when unknown. google benchmark's own
+/// `num_cpus` context field comes from its CPUInfo probe, which reports 1
+/// inside this VM — trajectory files record this value instead so the
+/// thread-scaling numbers say what parallelism was actually available.
+inline int num_cpus_online() {
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 0;
+}
 
 /// Fleet scale factor, settable via MEMFP_BENCH_SCALE (default 1.0). Lets a
 /// quick smoke run (e.g. 0.2) exercise every bench cheaply.

@@ -6,8 +6,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "bench_common.h"
 #include "common/json.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "dram/ecc.h"
@@ -481,3 +484,27 @@ void BM_ScoreDimms(benchmark::State& state) {
 BENCHMARK(BM_ScoreDimms)->Apply(thread_args)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: stamps the JSON context block with
+// the facts the run_benches.sh trajectory files need to stay interpretable —
+// the real online CPU count (benchmark's own `num_cpus` probe reports 1 in
+// this VM), the SIMD lane the runtime dispatcher picked (or MEMFP_SIMD
+// forced), every lane this host supports, and the raw CPU feature list.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "num_cpus_online", std::to_string(memfp::bench::num_cpus_online()));
+  benchmark::AddCustomContext("simd_level",
+                              simd::level_name(simd::active_level()));
+  std::string supported;
+  for (const simd::Level level : simd::supported_levels()) {
+    if (!supported.empty()) supported += ' ';
+    supported += simd::level_name(level);
+  }
+  benchmark::AddCustomContext("simd_supported", supported);
+  benchmark::AddCustomContext("cpu_features", simd::cpu_features());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

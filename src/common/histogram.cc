@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace memfp {
 
@@ -15,11 +16,31 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void Histogram::add(double value, double weight) {
   std::size_t bin = 0;
   if (value > lo_) {
-    bin = std::min(static_cast<std::size_t>((value - lo_) / width_),
-                   counts_.size() - 1);
+    // Clamp on the double side: the size_t cast of an over-range quotient
+    // (value = +inf, or beyond 2^63 widths) is undefined, and on x86-64
+    // actually produced bin 0 instead of the documented top-edge clamp.
+    double q = (value - lo_) / width_;
+    const double top = static_cast<double>(counts_.size() - 1);
+    if (q > top) q = top;
+    bin = static_cast<std::size_t>(q);
   }
   counts_[bin] += weight;
   total_ += weight;
+}
+
+void Histogram::add_range(std::span<const double> values, double weight) {
+  const simd::KernelTable& kt = simd::kernels();
+  std::uint32_t bins[256];
+  std::size_t i = 0;
+  while (i < values.size()) {
+    const std::size_t chunk = std::min<std::size_t>(256, values.size() - i);
+    kt.fixed_bins(values.data() + i, chunk, lo_, width_, counts_.size(), bins);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      counts_[bins[j]] += weight;
+      total_ += weight;
+    }
+    i += chunk;
+  }
 }
 
 double Histogram::bin_lo(std::size_t bin) const {

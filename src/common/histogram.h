@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,12 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double value, double weight = 1.0);
+
+  /// Bulk add: equivalent to add(v, weight) for each value in order (bin
+  /// indices come from the vectorized fixed_bins kernel; the count and
+  /// total accumulations stay in element order, so the result is
+  /// bit-identical to the per-element loop at every dispatch level).
+  void add_range(std::span<const double> values, double weight = 1.0);
 
   std::size_t bins() const { return counts_.size(); }
   double bin_lo(std::size_t bin) const;

@@ -1,0 +1,169 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/simd_kernels.h"
+
+namespace memfp::simd {
+namespace {
+
+/// Does the *host CPU* execute this lane's instructions? Compile-time lane
+/// availability is the provider's job (nullptr when not compiled in); this
+/// guards against running an AVX-512 table on an AVX2-only machine.
+bool cpu_supports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+#if defined(__x86_64__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#if defined(__x86_64__)
+      // The lane uses F (gathers, masks), DQ (cvtepi64), BW (byte/word
+      // compares) and VL (mixed widths); require all four like the TU does.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is baseline on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* provider(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return scalar_table();
+    case Level::kAvx2:
+      return avx2_table();
+    case Level::kAvx512:
+      return avx512_table();
+    case Level::kNeon:
+      return neon_table();
+  }
+  return nullptr;
+}
+
+/// One-time resolution: MEMFP_SIMD pins a lane (unknown or host-unsupported
+/// values fall back to the scalar reference lane — never an illegal
+/// instruction); empty or "auto" picks the best supported lane.
+const KernelTable* resolve() {
+  const char* env = std::getenv("MEMFP_SIMD");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "auto") != 0) {
+    Level requested;
+    if (parse_level(env, &requested)) {
+      if (const KernelTable* table = table_for(requested)) return table;
+    }
+    return scalar_table();
+  }
+  for (Level level : {Level::kAvx512, Level::kNeon, Level::kAvx2}) {
+    if (const KernelTable* table = table_for(level)) return table;
+  }
+  return scalar_table();
+}
+
+std::atomic<const KernelTable*>& active_slot() {
+  static std::atomic<const KernelTable*> slot{resolve()};
+  return slot;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool parse_level(const char* name, Level* out) {
+  for (Level level : {Level::kScalar, Level::kAvx2, Level::kAvx512,
+                      Level::kNeon}) {
+    if (std::strcmp(name, level_name(level)) == 0) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+const KernelTable& kernels() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+Level active_level() { return kernels().level; }
+
+const KernelTable* table_for(Level level) {
+  if (!cpu_supports(level)) return nullptr;
+  return provider(level);
+}
+
+std::vector<Level> supported_levels() {
+  std::vector<Level> levels{Level::kScalar};
+  for (Level level : {Level::kAvx2, Level::kAvx512, Level::kNeon}) {
+    if (table_for(level) != nullptr) levels.push_back(level);
+  }
+  return levels;
+}
+
+std::string cpu_features() {
+  std::string features;
+  const auto append = [&features](const char* name, bool present) {
+    if (!present) return;
+    if (!features.empty()) features += ' ';
+    features += name;
+  };
+#if defined(__x86_64__)
+  // __builtin_cpu_supports takes literal strings only, hence the unrolling.
+  append("sse2", __builtin_cpu_supports("sse2") != 0);
+  append("sse4.2", __builtin_cpu_supports("sse4.2") != 0);
+  append("avx", __builtin_cpu_supports("avx") != 0);
+  append("avx2", __builtin_cpu_supports("avx2") != 0);
+  append("fma", __builtin_cpu_supports("fma") != 0);
+  append("avx512f", __builtin_cpu_supports("avx512f") != 0);
+  append("avx512dq", __builtin_cpu_supports("avx512dq") != 0);
+  append("avx512bw", __builtin_cpu_supports("avx512bw") != 0);
+  append("avx512vl", __builtin_cpu_supports("avx512vl") != 0);
+#elif defined(__aarch64__)
+  append("neon", true);
+#else
+  append("scalar-only", true);
+#endif
+  return features;
+}
+
+ScopedLevel::ScopedLevel(Level level)
+    : prev_(active_slot().load(std::memory_order_relaxed)) {
+  const KernelTable* table = table_for(level);
+  MEMFP_CHECK(table != nullptr)
+      << "simd: level " << level_name(level)
+      << " is not supported on this host (see supported_levels())";
+  active_slot().store(table, std::memory_order_relaxed);
+}
+
+ScopedLevel::~ScopedLevel() {
+  active_slot().store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace memfp::simd

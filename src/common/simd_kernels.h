@@ -1,0 +1,17 @@
+// Internal: per-architecture kernel table providers, one per translation
+// unit (simd_kernels_<lane>.cc). Each returns a pointer to its lane's
+// static KernelTable, or nullptr when that lane was not compiled in — the
+// TU targets another architecture, or the compiler lacked its -m flags.
+// Only simd.cc (the dispatcher) and the lane TUs include this.
+#pragma once
+
+#include "common/simd.h"
+
+namespace memfp::simd {
+
+const KernelTable* scalar_table();  // never nullptr
+const KernelTable* avx2_table();
+const KernelTable* avx512_table();
+const KernelTable* neon_table();
+
+}  // namespace memfp::simd

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace memfp::ml {
@@ -82,14 +83,25 @@ std::vector<std::uint8_t> BinMapper::transform(const Matrix& x) const {
   // Feature-major output: column f occupies [f * rows, (f + 1) * rows), so
   // a histogram build streams one contiguous uint8 run per feature.
   std::vector<std::uint8_t> binned(x.rows() * x.cols());
+  const simd::KernelTable& kt = simd::kernels();
   ThreadPool::global().parallel_for_chunks(
       x.cols(), [&](std::size_t begin, std::size_t end) {
         std::vector<float> column;
         for (std::size_t f = begin; f < end; ++f) {
           x.gather_column(f, column);
           std::uint8_t* codes = binned.data() + f * x.rows();
-          for (std::size_t r = 0; r < x.rows(); ++r) {
-            codes[r] = bin(f, column[r]);
+          const std::vector<float>& thresholds = thresholds_[f];
+          if (thresholds.size() <= 64) {
+            // Broadcast-compare-count beats binary search up to a few dozen
+            // thresholds; the 64 cutoff is dispatch-level independent so
+            // every lane takes the same path (results are identical either
+            // way — the kernel computes the same lower-bound index).
+            kt.bin_transform(column.data(), x.rows(), thresholds.data(),
+                             static_cast<int>(thresholds.size()), codes);
+          } else {
+            for (std::size_t r = 0; r < x.rows(); ++r) {
+              codes[r] = bin(f, column[r]);
+            }
           }
         }
       });

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace memfp::ml {
@@ -23,6 +24,20 @@ BinnedDataset BinnedDataset::build(const Dataset& dataset, int max_bins) {
     binned.bin_offset[f + 1] =
         binned.bin_offset[f] + static_cast<std::uint32_t>(binned.mapper.bins(f));
   }
+
+  // Row-major mirror of the codes for the classification trainer's
+  // all-feature histogram kernel. Pure transpose, so parallel chunking
+  // cannot change the result.
+  binned.row_codes.resize(binned.rows * features);
+  ThreadPool::global().parallel_for_chunks(
+      binned.rows, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          std::uint8_t* dst = binned.row_codes.data() + r * features;
+          for (std::size_t f = 0; f < features; ++f) {
+            dst[f] = binned.codes[f * binned.rows + r];
+          }
+        }
+      });
 
   binned.weight_pairs.resize(2 * binned.rows);
   for (std::size_t r = 0; r < binned.rows; ++r) {
@@ -100,6 +115,16 @@ class HistogramPool {
     return buffer;
   }
 
+  /// For buffers every slot of which is about to be overwritten (histogram
+  /// subtraction): skips the zero fill — ~2 * slots doubles of memset per
+  /// split otherwise.
+  std::vector<double> acquire_unfilled() {
+    if (free_.empty()) return std::vector<double>(2 * slots_);
+    std::vector<double> buffer = std::move(free_.back());
+    free_.pop_back();
+    return buffer;
+  }
+
   void release(std::vector<double>&& buffer) {
     if (buffer.size() == 2 * slots_) free_.push_back(std::move(buffer));
   }
@@ -120,6 +145,7 @@ class RowArena {
     MEMFP_CHECK_LT(rows.size(), std::numeric_limits<std::uint32_t>::max());
     rows_.reserve(rows.size());
     for (std::size_t r : rows) rows_.push_back(static_cast<std::uint32_t>(r));
+    scratch_.resize(rows_.size());
   }
 
   std::size_t size() const { return rows_.size(); }
@@ -129,19 +155,27 @@ class RowArena {
   }
 
   /// Stable partition of [begin, end) by code <= bin; returns the boundary.
+  /// `guard` is the number of bytes readable from `codes` (the kernel's
+  /// gather-overread bound, see simd::KernelTable::partition).
   std::size_t partition(std::size_t begin, std::size_t end,
-                        const std::uint8_t* codes, std::uint8_t bin) {
-    scratch_.clear();
+                        const std::uint8_t* codes, std::uint8_t bin,
+                        std::size_t guard) {
+    if (auto* kernel = simd::kernels().partition) {
+      return begin + kernel(rows_.data() + begin, end - begin, codes, bin,
+                            scratch_.data(), guard);
+    }
     std::size_t write = begin;
+    std::size_t right = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const std::uint32_t r = rows_[i];
       if (codes[r] <= bin) {
         rows_[write++] = r;
       } else {
-        scratch_.push_back(r);
+        scratch_[right++] = r;
       }
     }
-    std::copy(scratch_.begin(), scratch_.end(), rows_.begin() + write);
+    std::copy(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(right),
+              rows_.begin() + static_cast<std::ptrdiff_t>(write));
     return write;
   }
 
@@ -186,6 +220,9 @@ Tree fit_classification_tree(const BinnedDataset& data,
   const std::size_t features = data.dataset->x.cols();
   const std::vector<std::uint32_t>& offset = data.bin_offset;
   const double* wp = data.weight_pairs.data();
+  // One table fetch per fit: the dispatch level is pinned for the whole
+  // tree, so a concurrent ScopedLevel swap cannot mix lanes mid-build.
+  const simd::KernelTable& kt = simd::kernels();
   Tree tree;
   auto& nodes = tree.mutable_nodes();
 
@@ -205,12 +242,8 @@ Tree fit_classification_tree(const BinnedDataset& data,
   // adding the 0.0 stored for negative rows leaves the positive sum's bits
   // unchanged).
   const auto stats = [&](Work& work) {
-    work.pos = 0.0;
-    work.total = 0.0;
-    for (std::uint32_t r : arena.slice(work.begin, work.end)) {
-      work.total += wp[2 * r];
-      work.pos += wp[2 * r + 1];
-    }
+    const auto slice = arena.slice(work.begin, work.end);
+    kt.pair_sum(slice.data(), slice.size(), wp, &work.total, &work.pos);
   };
   const auto check_live = [&](const Work& work) {
     const bool pure =
@@ -218,26 +251,20 @@ Tree fit_classification_tree(const BinnedDataset& data,
     return work.depth < params.max_depth && !pure &&
            work.total >= 2.0 * params.min_samples_leaf;
   };
-  // Direct histogram: stream each feature column over the node's rows.
+  // Direct histogram: one row-major pass over the node's rows fills every
+  // feature's slice (each accumulator still sees its adds in row order, so
+  // this matches the historical feature-major build bit for bit).
   const auto build_hist = [&](Work& work) {
     work.hist = hist_pool.acquire();
     const auto slice = arena.slice(work.begin, work.end);
-    for (std::size_t f = 0; f < features; ++f) {
-      double* hist = work.hist.data() + 2 * offset[f];
-      const std::uint8_t* codes = data.feature_codes(f);
-      for (std::uint32_t r : slice) {
-        const std::size_t code = codes[r];
-        hist[2 * code] += wp[2 * r];
-        hist[2 * code + 1] += wp[2 * r + 1];
-      }
-    }
+    kt.hist_rowmajor(slice.data(), slice.size(), wp, data.row_codes.data(),
+                     features, work.hist.data(), offset.data());
   };
   const auto subtract_hist = [&](Work& work, const std::vector<double>& parent,
                                  const std::vector<double>& sibling) {
-    work.hist = hist_pool.acquire();
-    for (std::size_t i = 0; i < work.hist.size(); ++i) {
-      work.hist[i] = parent[i] - sibling[i];
-    }
+    work.hist = hist_pool.acquire_unfilled();
+    kt.hist_subtract(work.hist.data(), parent.data(), sibling.data(),
+                     work.hist.size());
   };
 
   nodes.push_back({});
@@ -267,26 +294,37 @@ Tree fit_classification_tree(const BinnedDataset& data,
     int best_feature = -1;
     int best_bin = -1;
     const double parent_impurity = gini_impurity(work.pos, work.total);
+    // Prefix sums feed the vectorized gain scan; candidates failing
+    // min_samples_leaf come back as -inf, so the strict-> argmax below picks
+    // the same (feature, bin) — earliest maximum first — as the historical
+    // fused loop. Bin counts are capped at 256 by the uint8 codes.
+    double left_total[256], left_pos[256], gains[256];
     for (std::size_t f : sample_features(features, params.feature_fraction,
                                          rng)) {
       const int bins = data.mapper.bins(f);
       if (bins < 2) continue;
       const double* hist = work.hist.data() + 2 * offset[f];
-      double left_total = 0.0, left_pos = 0.0;
-      for (int b = 0; b + 1 < bins; ++b) {
-        left_total += hist[2 * b];
-        left_pos += hist[2 * b + 1];
-        const double right_total = work.total - left_total;
-        const double right_pos = work.pos - left_pos;
-        if (left_total < params.min_samples_leaf ||
-            right_total < params.min_samples_leaf) {
-          continue;
-        }
-        const double gain = parent_impurity -
-                            gini_impurity(left_pos, left_total) -
-                            gini_impurity(right_pos, right_total);
-        if (gain > best_gain) {
-          best_gain = gain;
+      const int count = bins - 1;
+      double lt = 0.0, lp = 0.0;
+      for (int b = 0; b < count; ++b) {
+        lt += hist[2 * b];
+        lp += hist[2 * b + 1];
+        left_total[b] = lt;
+        left_pos[b] = lp;
+      }
+      // Zero the kGainScanPad round-up so the scan's full-width last block
+      // reads defined values (see KernelTable::gini_gain_scan).
+      const int padded = (count + simd::kGainScanPad - 1) &
+                         ~(simd::kGainScanPad - 1);
+      for (int b = count; b < padded; ++b) {
+        left_total[b] = 0.0;
+        left_pos[b] = 0.0;
+      }
+      kt.gini_gain_scan(left_total, left_pos, count, work.total, work.pos,
+                        parent_impurity, params.min_samples_leaf, gains);
+      for (int b = 0; b < count; ++b) {
+        if (gains[b] > best_gain) {
+          best_gain = gains[b];
           best_feature = static_cast<int>(f);
           best_bin = b;
         }
@@ -304,7 +342,8 @@ Tree fit_classification_tree(const BinnedDataset& data,
     const std::size_t mid = arena.partition(
         work.begin, work.end,
         data.feature_codes(static_cast<std::size_t>(best_feature)),
-        static_cast<std::uint8_t>(best_bin));
+        static_cast<std::uint8_t>(best_bin),
+        data.codes.size() - static_cast<std::size_t>(best_feature) * data.rows);
 
     const int left_index = static_cast<int>(nodes.size());
     const int right_index = left_index + 1;
@@ -372,6 +411,7 @@ Tree fit_gradient_tree(const BinnedDataset& data,
 
   Tree tree;
   auto& nodes = tree.mutable_nodes();
+  const simd::KernelTable& kt = simd::kernels();
   RowArena arena(rows);
   HistogramPool hist_pool(offset.back());
 
@@ -393,12 +433,8 @@ Tree fit_gradient_tree(const BinnedDataset& data,
     return g * g / (h + params.lambda);
   };
   const auto node_stats = [&](NodeData& nd) {
-    nd.g = 0.0;
-    nd.h = 0.0;
-    for (std::uint32_t r : arena.slice(nd.begin, nd.end)) {
-      nd.g += gh[2 * r];
-      nd.h += gh[2 * r + 1];
-    }
+    const auto slice = arena.slice(nd.begin, nd.end);
+    kt.pair_sum(slice.data(), slice.size(), gh.data(), &nd.g, &nd.h);
   };
   const auto terminal = [&](const NodeData& nd) {
     return nd.depth >= params.max_depth ||
@@ -416,7 +452,10 @@ Tree fit_gradient_tree(const BinnedDataset& data,
                                   const std::vector<double>* parent,
                                   const std::vector<double>* sibling,
                                   bool scan) {
-    nd.hist = hist_pool.acquire();
+    // Subtraction overwrites every per-feature slice, so the derived child
+    // can skip the acquire-time zero fill.
+    nd.hist =
+        parent != nullptr ? hist_pool.acquire_unfilled() : hist_pool.acquire();
     const auto slice = arena.slice(nd.begin, nd.end);
     const double parent_obj = node_objective(nd.g, nd.h);
     std::vector<FeatureBest> best(tree_features.size());
@@ -426,15 +465,10 @@ Tree fit_gradient_tree(const BinnedDataset& data,
       if (parent != nullptr) {
         const double* p = parent->data() + 2 * offset[fi];
         const double* s = sibling->data() + 2 * offset[fi];
-        const std::size_t width = 2 * (offset[fi + 1] - offset[fi]);
-        for (std::size_t i = 0; i < width; ++i) hist[i] = p[i] - s[i];
+        kt.hist_subtract(hist, p, s, 2 * (offset[fi + 1] - offset[fi]));
       } else {
-        const std::uint8_t* codes = data.feature_codes(tree_features[fi]);
-        for (std::uint32_t r : slice) {
-          const std::size_t code = codes[r];
-          hist[2 * code] += gh[2 * r];
-          hist[2 * code + 1] += gh[2 * r + 1];
-        }
+        kt.hist_column(slice.data(), slice.size(), gh.data(),
+                       data.feature_codes(tree_features[fi]), hist);
       }
       const int bins = data.mapper.bins(tree_features[fi]);
       if (!scan || bins < 2) return;
@@ -522,7 +556,8 @@ Tree fit_gradient_tree(const BinnedDataset& data,
     const std::size_t mid = arena.partition(
         cand.begin, cand.end,
         data.feature_codes(static_cast<std::size_t>(cand.feature)),
-        static_cast<std::uint8_t>(cand.bin));
+        static_cast<std::uint8_t>(cand.bin),
+        data.codes.size() - static_cast<std::size_t>(cand.feature) * data.rows);
 
     const int left_index = static_cast<int>(nodes.size());
     const int right_index = left_index + 1;

@@ -42,6 +42,10 @@ struct BinnedDataset {
   const Dataset* dataset = nullptr;
   BinMapper mapper;
   std::vector<std::uint8_t> codes;  // cols x rows, feature-major
+  /// The same codes row-major (rows x cols): the classification trainer's
+  /// all-feature histogram build reads every feature of a row, so row-major
+  /// turns its gather into one sequential uint8 run per row.
+  std::vector<std::uint8_t> row_codes;
   std::size_t rows = 0;
   /// Prefix sum of mapper.bins(f): feature f's histogram slice covers bins
   /// [bin_offset[f], bin_offset[f + 1]) of a pooled node histogram.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace memfp::ml {
@@ -143,7 +145,34 @@ FlatEnsemble FlatEnsemble::build(std::span<const Tree> trees,
     flat.depths_.push_back(depth);
     flat.max_depth_ = std::max(flat.max_depth_, static_cast<int>(depth));
   }
+  flat.pack();
   return flat;
+}
+
+void FlatEnsemble::pack() {
+  packed_.clear();
+  packed_binned_.clear();
+  packed_ok_ = false;
+  max_feature_ = 0;
+  packed_.resize(feature_.size());
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    const std::int64_t delta = static_cast<std::int64_t>(left_[i]) -
+                               static_cast<std::int64_t>(i);
+    // BFS order appends children after their parent, so deltas are >= 0
+    // (leaves self-loop at 0); only a tree wider than 65535 nodes per level
+    // span, or > 65535 features, fails to pack.
+    if (delta < 0 || delta > 0xFFFF || feature_[i] > 0xFFFF) {
+      packed_.clear();
+      return;
+    }
+    std::uint32_t tbits;
+    std::memcpy(&tbits, &threshold_[i], sizeof(tbits));
+    packed_[i] = static_cast<std::uint64_t>(tbits) |
+                 (static_cast<std::uint64_t>(feature_[i]) << 32) |
+                 (static_cast<std::uint64_t>(delta) << 48);
+    max_feature_ = std::max(max_feature_, feature_[i]);
+  }
+  packed_ok_ = true;
 }
 
 double FlatEnsemble::predict_row(std::span<const float> features,
@@ -176,12 +205,24 @@ void FlatEnsemble::score_float(const Matrix& x, double init, bool accumulate,
                    left_.data(),    value_.data(),     roots_.data(),
                    depths_.data(),  roots_.size()};
   double* scores = out.data();
+  // SIMD path for full blocks: the kernel computes i32 row offsets as
+  // i * cols + feature, so cap cols where 63 * cols + f could overflow.
+  const simd::KernelTable& kt = simd::kernels();
+  const bool use_simd = kt.flat_float_block != nullptr && packed_ok_ &&
+                        x.cols() < (std::size_t{1} << 25);
   ThreadPool::global().parallel_for_chunks(
       x.rows(),
       [&](std::size_t begin, std::size_t end) {
         const float* rows[kRowBlock];
         for (std::size_t bs = begin; bs < end; bs += kRowBlock) {
           const std::size_t n = std::min(kRowBlock, end - bs);
+          if (use_simd && n == kRowBlock) {
+            kt.flat_float_block(packed_.data(), value_.data(), roots_.data(),
+                                depths_.data(), roots_.size(),
+                                x.row(bs).data(), x.cols(), init, accumulate,
+                                scores + bs);
+            continue;
+          }
           for (std::size_t i = 0; i < n; ++i) {
             rows[i] = x.row(bs + i).data();
           }
@@ -225,6 +266,19 @@ bool FlatEnsemble::bind(const BinMapper& mapper) {
     bin_[i] = b;
   }
   binned_ = true;
+  // Binned flavour of the packed nodes: same feature/delta fields with the
+  // bin code in the low 32 bits instead of threshold bits.
+  packed_binned_.clear();
+  if (packed_ok_) {
+    packed_binned_.resize(feature_.size());
+    for (std::size_t i = 0; i < feature_.size(); ++i) {
+      const auto delta = static_cast<std::uint64_t>(
+          left_[i] - static_cast<std::int32_t>(i));
+      packed_binned_[i] = static_cast<std::uint64_t>(bin_[i]) |
+                          (static_cast<std::uint64_t>(feature_[i]) << 32) |
+                          (delta << 48);
+    }
+  }
   return true;
 }
 
@@ -238,11 +292,26 @@ void FlatEnsemble::score_binned(const std::uint8_t* codes, std::size_t rows,
                    left_.data(),    value_.data(),     roots_.data(),
                    depths_.data(),  roots_.size()};
   double* scores = out.data();
+  // SIMD path needs f * rows + r to fit the kernel's i32 index math, and
+  // keeps blocks whose 4-byte code gathers could cross the end of the codes
+  // buffer (the very last rows) on the scalar loop.
+  const simd::KernelTable& kt = simd::kernels();
+  const bool use_simd =
+      kt.flat_binned_block != nullptr && !packed_binned_.empty() &&
+      static_cast<std::size_t>(max_feature_ + 1) * rows <
+          (std::size_t{1} << 31);
   ThreadPool::global().parallel_for_chunks(
       rows,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t bs = begin; bs < end; bs += kRowBlock) {
           const std::size_t n = std::min(kRowBlock, end - bs);
+          if (use_simd && n == kRowBlock && bs + kRowBlock + 4 <= rows) {
+            kt.flat_binned_block(packed_binned_.data(), value_.data(),
+                                 roots_.data(), depths_.data(), roots_.size(),
+                                 codes, rows, bs, init, accumulate,
+                                 scores + bs);
+            continue;
+          }
           // Leaf bin is 255, and no uint8 code exceeds 255, so a parked
           // row's offset is always 0 — no float mask needed here.
           score_block(

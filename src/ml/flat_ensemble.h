@@ -118,6 +118,19 @@ class FlatEnsemble {
   std::vector<std::int32_t> depths_;  // per-tree max root->leaf edge count
   int max_depth_ = 0;
   bool binned_ = false;
+
+  /// Packs the SoA node arrays into one uint64 per node — float threshold
+  /// bits | feature << 32 | (left_[i] - i) << 48 — the layout the SIMD block
+  /// kernels gather in a single 8-byte load (simd::KernelTable::
+  /// flat_float_block). Sets packed_ok_ = false (disabling the SIMD path,
+  /// scalar blocks still serve every call) if any left-child delta or
+  /// feature id overflows its 16-bit field.
+  void pack();
+
+  std::vector<std::uint64_t> packed_;         // valid iff packed_ok_
+  std::vector<std::uint64_t> packed_binned_;  // low 32 bits = bin; after bind()
+  bool packed_ok_ = false;
+  std::int32_t max_feature_ = 0;
 };
 
 /// Thread-safe lazily-compiled FlatEnsemble shared by a model's const

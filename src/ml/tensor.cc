@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace memfp::ml {
 
@@ -21,8 +22,10 @@ Tensor Tensor::random_uniform(std::size_t rows, std::size_t cols, float bound,
   return t;
 }
 
-// Simple ikj-ordered kernels: cache-friendly enough for the model sizes in
-// this project (d_model <= 64), and trivially correct.
+// ikj-ordered kernels behind the SIMD dispatch seam (common/simd.h): the
+// shape checks and output allocation stay here, the inner loops live in the
+// kernel table. Every lane is bit-identical per output element, so dispatch
+// level is unobservable in results.
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   MEMFP_CHECK_EQ(a.cols(), b.rows());
@@ -32,24 +35,7 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   } else {
     MEMFP_CHECK(out.rows() == m && out.cols() == n);
   }
-  for (std::size_t i = 0; i < m; ++i) {
-    float* out_row = out.data() + i * n;
-    const float* a_row = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      // No zero-skip: attention/MLP activations are dense, so the
-      // data-dependent branch only costs a misprediction per element.
-      const float av = a_row[p];
-      const float* b_row = b.data() + p * n;
-      std::size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        out_row[j] += av * b_row[j];
-        out_row[j + 1] += av * b_row[j + 1];
-        out_row[j + 2] += av * b_row[j + 2];
-        out_row[j + 3] += av * b_row[j + 3];
-      }
-      for (; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
+  simd::kernels().gemm(a.data(), b.data(), out.data(), m, k, n);
 }
 
 void gemm_at(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
@@ -60,22 +46,7 @@ void gemm_at(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   } else {
     MEMFP_CHECK(out.rows() == m && out.cols() == n);
   }
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* a_row = a.data() + p * m;
-    const float* b_row = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = a_row[i];
-      float* out_row = out.data() + i * n;
-      std::size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        out_row[j] += av * b_row[j];
-        out_row[j + 1] += av * b_row[j + 1];
-        out_row[j + 2] += av * b_row[j + 2];
-        out_row[j + 3] += av * b_row[j + 3];
-      }
-      for (; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
+  simd::kernels().gemm_at(a.data(), b.data(), out.data(), m, k, n);
 }
 
 void gemm_bt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
@@ -86,38 +57,7 @@ void gemm_bt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   } else {
     MEMFP_CHECK(out.rows() == m && out.cols() == n);
   }
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* out_row = out.data() + i * n;
-    // Four independent dot products per step: each keeps its own sequential
-    // accumulation over p (bit-identical per output element), while the
-    // a_row loads are shared and the four chains hide FMA latency.
-    std::size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = b.data() + j * k;
-      const float* b1 = b0 + k;
-      const float* b2 = b1 + k;
-      const float* b3 = b2 + k;
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) {
-        const float av = a_row[p];
-        acc0 += av * b0[p];
-        acc1 += av * b1[p];
-        acc2 += av * b2[p];
-        acc3 += av * b3[p];
-      }
-      out_row[j] += acc0;
-      out_row[j + 1] += acc1;
-      out_row[j + 2] += acc2;
-      out_row[j + 3] += acc3;
-    }
-    for (; j < n; ++j) {
-      const float* b_row = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] += acc;
-    }
-  }
+  simd::kernels().gemm_bt(a.data(), b.data(), out.data(), m, k, n);
 }
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {

@@ -367,6 +367,91 @@ TEST(LintBannedInclude, SuppressedWithJustification) {
 }
 
 // ---------------------------------------------------------------------------
+// arch-intrinsics
+// ---------------------------------------------------------------------------
+
+TEST(LintArchIntrinsics, FiresOnIntrinsicHeaders) {
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    #include <immintrin.h>
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    #include <emmintrin.h>
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/features/x.cc", R"cc(
+    #include <arm_neon.h>
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+}
+
+TEST(LintArchIntrinsics, FiresOnRawIntrinsicsAndVectorTypes) {
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    __m256d acc = _mm256_setzero_pd();
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    void f(double* p) { _mm512_storeu_pd(p, _mm512_setzero_pd()); }
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("src/ml/x.cc", R"cc(
+    float32x4_t v = vld1q_f32(ptr);
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+}
+
+TEST(LintArchIntrinsics, AppliesInTestsAndBench) {
+  EXPECT_EQ(count_rule(rules_found("tests/test_x.cc", R"cc(
+    __m128i block = _mm_setzero_si128();
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+  EXPECT_EQ(count_rule(rules_found("bench/bench_x.cc", R"cc(
+    #include <x86intrin.h>
+  )cc"),
+                       "arch-intrinsics"),
+            1);
+}
+
+TEST(LintArchIntrinsics, SimdSeamIsExempt) {
+  // The per-lane kernel TUs and headers under src/common/simd* are the one
+  // sanctioned home for raw intrinsics.
+  EXPECT_TRUE(rules_found("src/common/simd_kernels_avx512.cc", R"cc(
+    #include <immintrin.h>
+    __m512d z = _mm512_setzero_pd();
+  )cc")
+                  .empty());
+  EXPECT_TRUE(rules_found("src/common/simd_kernels_neon.cc", R"cc(
+    #include <arm_neon.h>
+    float64x2_t v = vld1q_f64(p);
+  )cc")
+                  .empty());
+}
+
+TEST(LintArchIntrinsics, SilentOnDispatchApiUse) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    #include "common/simd.h"
+    void f() { const memfp::simd::KernelTable& kt = memfp::simd::kernels(); }
+    int summed(int s) { return s; }  // 'mm' inside words stays clean
+  )cc")
+                  .empty());
+}
+
+TEST(LintArchIntrinsics, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    // memfp-lint: allow(arch-intrinsics): one-off diagnostic harness
+    __m128d w = _mm_setzero_pd();
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppression mechanics
 // ---------------------------------------------------------------------------
 
@@ -453,8 +538,9 @@ TEST(LintFormat, OneLinePerViolation) {
 // engine can emit (meta rules excluded — they are never suppressible).
 TEST(LintRules, CatalogIsComplete) {
   const std::vector<std::string> expected = {
-      "unseeded-random", "wall-clock",   "unordered-iter", "bare-assert",
-      "naked-new",       "thread-spawn", "pragma-once",    "banned-include"};
+      "unseeded-random", "wall-clock",     "unordered-iter",
+      "bare-assert",     "naked-new",      "thread-spawn",
+      "pragma-once",     "banned-include", "arch-intrinsics"};
   EXPECT_EQ(rule_names(), expected);
 }
 

@@ -7,11 +7,15 @@
 #   leg 4  tsan      ThreadSanitizer build, thread-pool + parallel
 #                    determinism suites (the racy surface; the full suite
 #                    under TSan is ~20x and adds no extra coverage)
-#   leg 5  bench     bench_micro smoke run (tracked benches execute with
+#   leg 5  scalar    full ctest with MEMFP_SIMD=scalar forced: the SIMD
+#                    reference lane stays green on its own, and the
+#                    dispatch-equality suites (Simd*, GoldenModels) re-run
+#                    with every kernel pinned to the scalar table
+#   leg 6  bench     bench_micro smoke run (tracked benches execute with
 #                    minimal iterations, so bench binaries can't bit-rot)
 #                    plus a tiny-scale bench_fleet pass (the sharded
 #                    driver's spill→stream→score loop end to end)
-#   leg 6  tidy      clang-tidy over src/ (advisory; skipped when the
+#   leg 7  tidy      clang-tidy over src/ (advisory; skipped when the
 #                    binary is not installed)
 #
 # Sanitizer coverage of the new trace-store/fleet-driver surface: the asan
@@ -23,7 +27,7 @@
 # tree is never poisoned by sanitizer objects. Usage:
 #
 #   tools/check.sh          # full matrix
-#   tools/check.sh lint     # one leg (lint|werror|asan|tsan|bench|tidy)
+#   tools/check.sh lint     # one leg (lint|werror|asan|tsan|scalar|bench|tidy)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -74,6 +78,18 @@ run_tsan() {
       -R 'ThreadPool|Parallel|Determinism'
 }
 
+run_scalar() {
+  log "leg: scalar (MEMFP_SIMD=scalar, full ctest)"
+  local dir="$MATRIX_ROOT/lint"  # reuse the plain (non-sanitizer) configure
+  cmake -B "$dir" -S "$ROOT" > /dev/null
+  cmake --build "$dir" -j "$JOBS"
+  # Same binaries, reference kernel table only: proves nothing silently
+  # depends on a vector lane, and that scalar output still matches every
+  # golden hash the vector lanes were verified against.
+  MEMFP_SIMD=scalar \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
 run_bench() {
   log "leg: bench (bench_micro smoke run)"
   local dir="$MATRIX_ROOT/lint"  # reuse the plain (non-sanitizer) configure
@@ -108,6 +124,7 @@ case "$LEG" in
   werror) run_werror ;;
   asan)   run_asan ;;
   tsan)   run_tsan ;;
+  scalar) run_scalar ;;
   bench)  run_bench ;;
   tidy)   run_tidy ;;
   all)
@@ -115,12 +132,13 @@ case "$LEG" in
     run_werror
     run_asan
     run_tsan
+    run_scalar
     run_bench
     run_tidy
     log "matrix green"
     ;;
   *)
-    echo "usage: tools/check.sh [lint|werror|asan|tsan|bench|tidy]" >&2
+    echo "usage: tools/check.sh [lint|werror|asan|tsan|scalar|bench|tidy]" >&2
     exit 2
     ;;
 esac

@@ -539,12 +539,86 @@ void rule_banned_include(Linter& lint) {
   }
 }
 
+void rule_arch_intrinsics(Linter& lint) {
+  if (!(lint.in_src || lint.in_tests || lint.in_bench)) return;
+  if (lint.path.starts_with("src/common/simd")) {
+    return;  // the dispatch seam: the per-lane kernel TUs and their headers
+  }
+  static const char* kBannedIncludes[] = {
+      "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+      "smmintrin.h", "tmmintrin.h", "nmmintrin.h", "wmmintrin.h",
+      "ammintrin.h", "arm_neon.h",  "arm_sve.h",
+  };
+  // Intrinsic name/type prefixes: a token starting with one of these is an
+  // architecture-specific vector op even though the suffix varies.
+  static const char* kBannedPrefixes[] = {
+      "_mm_", "_mm256_", "_mm512_", "__m128", "__m256", "__m512",
+      "vld1",  "vst1",
+  };
+  static const char* kBannedTokens[] = {"float32x4_t", "float64x2_t"};
+  for (std::size_t i = 0; i < lint.scrubbed.code.size(); ++i) {
+    const std::string& line = lint.scrubbed.code[i];
+    const int n = static_cast<int>(i) + 1;
+    std::size_t j = 0;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (line.compare(j, 8, "#include") == 0) {
+      const std::size_t open = line.find_first_of("<\"", j);
+      const std::size_t close =
+          open == npos ? npos
+                       : line.find_first_of(">\"", open + 1);
+      if (open != npos && close != npos) {
+        const std::string included = line.substr(open + 1, close - open - 1);
+        for (const char* banned : kBannedIncludes) {
+          if (included == banned) {
+            lint.report(n, "arch-intrinsics",
+                        "#include <" + included +
+                            "> outside src/common/simd*: arch-specific "
+                            "loops go behind the simd::KernelTable dispatch "
+                            "seam (common/simd.h)");
+          }
+        }
+      }
+      continue;
+    }
+    const char* found = nullptr;
+    for (const char* prefix : kBannedPrefixes) {
+      std::size_t from = 0;
+      while (from < line.size()) {
+        const std::size_t p = line.find(prefix, from);
+        if (p == npos) break;
+        if (p == 0 || !ident_char(line[p - 1])) {
+          found = prefix;
+          break;
+        }
+        from = p + 1;
+      }
+      if (found != nullptr) break;
+    }
+    if (found == nullptr) {
+      for (const char* token : kBannedTokens) {
+        if (find_word(line, token) != npos) {
+          found = token;
+          break;
+        }
+      }
+    }
+    if (found != nullptr) {
+      lint.report(n, "arch-intrinsics",
+                  std::string("raw ") + found +
+                      "… intrinsic outside src/common/simd*: port the loop "
+                      "to a KernelTable entry so every architecture lane "
+                      "stays behind one dispatch seam (common/simd.h)");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "unseeded-random", "wall-clock",  "unordered-iter", "bare-assert",
-      "naked-new",       "thread-spawn", "pragma-once",    "banned-include",
+      "unseeded-random", "wall-clock",   "unordered-iter",
+      "bare-assert",     "naked-new",    "thread-spawn",
+      "pragma-once",     "banned-include", "arch-intrinsics",
   };
   return kNames;
 }
@@ -569,6 +643,7 @@ std::vector<Violation> lint_source(std::string_view path,
   rule_thread_spawn(lint);
   rule_pragma_once(lint);
   rule_banned_include(lint);
+  rule_arch_intrinsics(lint);
 
   for (const Allow& allow : lint.allows) {
     if (!allow.used) {

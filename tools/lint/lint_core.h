@@ -35,6 +35,11 @@
 //   banned-include   curated banned includes: <random>, <cassert>,
 //                    <assert.h>, <ctime> in src/; <iostream> in src/
 //                    headers (the logger owns the only stderr sink)
+//   arch-intrinsics  <immintrin.h>/<arm_neon.h>-style includes and raw
+//                    _mm*/__m*/vld1/vst1 intrinsics anywhere but the
+//                    src/common/simd* dispatch seam — every
+//                    architecture-aware loop goes through one KernelTable
+//                    (scope: src/, tests/, bench/)
 //
 // Suppressions: a violation is waived by a comment on the same line or the
 // line directly above:

@@ -16,6 +16,12 @@
 #                       the speedup column compares the two layouts on
 #                       identical hardware/load — rerun after changes to
 #                       src/ml/flat_ensemble.* or the tree structures.
+#   BENCH_simd.json     the tracked train/predict/gemm benches re-run with
+#                       MEMFP_SIMD forced to every dispatch lane this host
+#                       supports, plus the detected CPU features: records
+#                       what each vector lane is worth over the scalar
+#                       reference on this hardware — rerun after changes to
+#                       src/common/simd*.
 #   BENCH_fleet.json    sharded fleet driver scale sweep (10^4 -> 10^6
 #                       DIMMs, 56-day horizon): DIMMs/sec, events/sec,
 #                       encoded bytes/event and peak RSS per point — rerun
@@ -208,6 +214,74 @@ out = {
     "baseline_ms": baseline,
     "current_ms": current,
     "speedup": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(speedup, indent=2, sort_keys=True))
+EOF
+
+# Per-dispatch-lane timings. The context block knows which lanes this host
+# can run (bench_micro stamps simd_supported into every raw file — reuse
+# the predict run's); each supported lane re-runs the tracked kernels with
+# MEMFP_SIMD forced, so the file shows the vector lanes' worth over the
+# scalar reference on identical hardware/load.
+SUPPORTED="$(python3 -c \
+  "import json,sys; print(json.load(open(sys.argv[1]))['context']['simd_supported'])" \
+  "$RAW_PREDICT")"
+SIMD_RAWS=()
+for level in $SUPPORTED; do
+  raw="$BUILD/bench_simd_${level}_raw.json"
+  MEMFP_SIMD="$level" "$BUILD/bench/bench_micro" \
+    --benchmark_filter='^BM_(TreeTrain|ForestPredict|GbdtPredict)/rows:50000$|^BM_(Gemm|GemmBt)$' \
+    --benchmark_out="$raw" --benchmark_out_format=json >&2
+  SIMD_RAWS+=("$raw")
+done
+
+python3 - "$ROOT/BENCH_simd.json" "${SIMD_RAWS[@]}" <<'EOF'
+import json
+import sys
+
+out_path, raw_paths = sys.argv[1], sys.argv[2:]
+
+UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+levels_ms = {}
+context = {}
+for raw_path in raw_paths:
+    with open(raw_path) as f:
+        raw = json.load(f)
+    ctx = raw.get("context", {})
+    level = ctx.get("simd_level", "unknown")
+    if not context:
+        context = ctx
+    timings = {}
+    for entry in raw.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        scale = UNIT_TO_MS[entry.get("time_unit", "ns")]
+        timings[entry["name"]] = round(entry["real_time"] * scale, 4)
+    levels_ms[level] = timings
+
+scalar = levels_ms.get("scalar", {})
+speedup = {
+    level: {
+        name: round(scalar[name] / ms, 2)
+        for name, ms in timings.items()
+        if scalar.get(name)
+    }
+    for level, timings in levels_ms.items()
+    if level != "scalar"
+}
+
+out = {
+    "generated_by": "tools/run_benches.sh",
+    "threads": 1,
+    "context": context,
+    "cpu_features": context.get("cpu_features", ""),
+    "simd_supported": context.get("simd_supported", ""),
+    "levels_ms": levels_ms,
+    "speedup_vs_scalar": speedup,
 }
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
