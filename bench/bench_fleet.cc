@@ -21,7 +21,7 @@
 #include "bench_common.h"
 #include "common/table.h"
 #include "core/pipeline.h"
-#include "sim/fleet_driver.h"
+#include "core/fleet_driver.h"
 
 namespace {
 
@@ -36,7 +36,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 struct PointResult {
   std::size_t target = 0;
   std::size_t shards = 0;
-  sim::FleetDriverResult run;
+  core::FleetDriverResult run;
   double seconds = 0.0;
   std::size_t peak_rss = 0;
 };
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
     sim::ScenarioParams params = base.scaled(target / base_total);
     params.horizon = bench_horizon;
 
-    sim::FleetDriverConfig config;
+    core::FleetDriverConfig config;
     config.store_dir = store_dir;
     config.keep_store = false;
     config.windows.cadence = days(2);
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
 
     const auto start = std::chrono::steady_clock::now();
     PointResult point;
-    point.run = sim::run_fleet_driver(params, config, model.get());
+    point.run = core::run_fleet_driver(params, config, model.get());
     point.seconds = seconds_since(start);
     point.target = static_cast<std::size_t>(std::llround(target));
     point.shards = config.shards;

@@ -14,10 +14,10 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "core/fleet_driver.h"
 #include "core/pipeline.h"
 #include "mlops/cicd.h"
 #include "mlops/model_registry.h"
-#include "sim/fleet_driver.h"
 
 int main() {
   using namespace memfp;
@@ -37,14 +37,14 @@ int main() {
   // 1. Determinism contract at verifiable scale: any shard split of the
   //    same scenario reproduces the in-memory path hash for hash.
   const sim::ScenarioParams small = sim::purley_scenario(/*seed=*/42).scaled(0.3);
-  const sim::FleetDriverResult reference = sim::reference_fleet_result(
+  const core::FleetDriverResult reference = core::reference_fleet_result(
       small, features::PredictionWindows{}, model.get());
   for (const std::size_t shards : {1u, 4u, 16u}) {
-    sim::FleetDriverConfig config;
+    core::FleetDriverConfig config;
     config.store_dir = store_root + "/small";
     config.shards = shards;
-    const sim::FleetDriverResult run =
-        sim::run_fleet_driver(small, config, model.get());
+    const core::FleetDriverResult run =
+        core::run_fleet_driver(small, config, model.get());
     const bool identical = run.trace_hash == reference.trace_hash &&
                            run.feature_hash == reference.feature_hash &&
                            run.score_hash == reference.score_hash;
@@ -58,13 +58,13 @@ int main() {
   //    shard; the shard files are kept for step 3.
   sim::ScenarioParams big = sim::purley_scenario(/*seed=*/43).scaled(6.0);
   big.horizon = days(56);
-  sim::FleetDriverConfig config;
+  core::FleetDriverConfig config;
   config.store_dir = store_root + "/big";
   config.keep_store = true;
   config.shards = 8;
   config.windows.cadence = days(2);
-  const sim::FleetDriverResult big_run =
-      sim::run_fleet_driver(big, config, model.get());
+  const core::FleetDriverResult big_run =
+      core::run_fleet_driver(big, config, model.get());
   std::printf(
       "big fleet: %zu planned, %zu observed, %llu events -> %llu encoded "
       "bytes in %zu shards (%.1f bytes/event)\n",

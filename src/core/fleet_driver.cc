@@ -1,4 +1,4 @@
-#include "sim/fleet_driver.h"
+#include "core/fleet_driver.h"
 
 #include <algorithm>
 #include <bit>
@@ -12,17 +12,17 @@
 #include "dram/geometry.h"
 #include "ml/dataset.h"
 
-namespace memfp::sim {
+namespace memfp::core {
 
 std::uint64_t fold_sample_hash(std::uint64_t h,
                                const features::Sample& sample) {
-  h = fnv1a_u64(h, sample.dimm);
-  h = fnv1a_u64(h, static_cast<std::uint64_t>(sample.time));
-  h = fnv1a_u64(h,
+  h = sim::fnv1a_u64(h, sample.dimm);
+  h = sim::fnv1a_u64(h, static_cast<std::uint64_t>(sample.time));
+  h = sim::fnv1a_u64(h,
                 static_cast<std::uint64_t>(
                     static_cast<std::int64_t>(sample.label)));
   for (const float value : sample.features) {
-    h = fnv1a_u64(h, std::bit_cast<std::uint32_t>(value));
+    h = sim::fnv1a_u64(h, std::bit_cast<std::uint32_t>(value));
   }
   return h;
 }
@@ -38,31 +38,31 @@ void fold_scores(const ml::BinaryClassifier* model, const ml::Matrix& x,
   const std::vector<double> scores = model->predict_batch(x);
   for (const double score : scores) {
     result.score_hash =
-        fnv1a_u64(result.score_hash, std::bit_cast<std::uint64_t>(score));
+        sim::fnv1a_u64(result.score_hash, std::bit_cast<std::uint64_t>(score));
     result.score_sum += score;
   }
 }
 
 }  // namespace
 
-FleetDriverResult run_fleet_driver(const ScenarioParams& params,
+FleetDriverResult run_fleet_driver(const sim::ScenarioParams& params,
                                    const FleetDriverConfig& config,
                                    const ml::BinaryClassifier* model,
-                                   const DimmSimParams& sim_params) {
+                                   const sim::DimmSimParams& sim_params) {
   MEMFP_CHECK(!config.store_dir.empty())
       << "run_fleet_driver: config.store_dir must name a spill directory";
   std::filesystem::create_directories(config.store_dir);
 
-  DimmSimParams effective = sim_params;
+  sim::DimmSimParams effective = sim_params;
   effective.horizon = params.horizon;
-  const DimmSimulator simulator(params.platform, effective);
+  const sim::DimmSimulator simulator(params.platform, effective);
   const dram::Geometry geometry = dram::Geometry::ddr4_x4();
   const features::FeatureExtractor extractor(config.windows);
 
   ThreadPool::ScopedLimit limit(config.num_threads);
 
   FleetDriverResult result;
-  FleetPlanner planner(params);
+  sim::FleetPlanner planner(params);
   const std::size_t total = planner.plan().total();
   result.planned_dimms = total;
   const std::size_t shards = std::max<std::size_t>(1, config.shards);
@@ -73,30 +73,30 @@ FleetDriverResult run_fleet_driver(const ScenarioParams& params,
     const std::size_t begin = s * total / shards;
     const std::size_t end = (s + 1) * total / shards;
     MEMFP_CHECK_EQ(planner.produced(), begin);
-    const std::vector<PlannedDimm> jobs = planner.take(end - begin);
+    const std::vector<sim::PlannedDimm> jobs = planner.take(end - begin);
     if (jobs.empty()) continue;
 
     // Simulate the shard into index slots (one task per DIMM, as the
     // in-memory builder does).
-    std::vector<DimmTrace> traces(jobs.size());
+    std::vector<sim::DimmTrace> traces(jobs.size());
     ThreadPool::global().parallel_for(
         jobs.size(),
         [&](std::size_t i) {
           traces[i] =
-              simulate_planned_dimm(jobs[i], params, simulator, geometry);
+              sim::simulate_planned_dimm(jobs[i], params, simulator, geometry);
         },
         /*grain=*/1);
 
     // Encode + spill the observed DIMMs in id order, folding the canonical
     // trace hash as the bytes go out.
-    const std::string path = shard_path(config.store_dir, s);
-    ShardWriter writer(path, params.platform, params.horizon);
+    const std::string path = sim::shard_path(config.store_dir, s);
+    sim::ShardWriter writer(path, params.platform, params.horizon);
     for (std::size_t i = 0; i < traces.size(); ++i) {
-      if (!enters_observed_dataset(jobs[i].kind, traces[i])) continue;
+      if (!sim::enters_observed_dataset(jobs[i].kind, traces[i])) continue;
       result.trace_hash =
-          fnv1a_u64(result.trace_hash, writer.append(traces[i]));
+          sim::fnv1a_u64(result.trace_hash, writer.append(traces[i]));
     }
-    const ShardStats stats = writer.finish();
+    const sim::ShardStats stats = writer.finish();
     result.observed_dimms += stats.dimms;
     result.ce_records += stats.ce_records;
     result.mem_events += stats.mem_events;
@@ -109,7 +109,7 @@ FleetDriverResult run_fleet_driver(const ScenarioParams& params,
     traces.clear();
     traces.shrink_to_fit();
 
-    const TraceReader reader(path);
+    const sim::TraceReader reader(path);
     std::vector<std::vector<features::Sample>> samples(reader.dimm_count());
     ThreadPool::global().parallel_for(
         reader.dimm_count(),
@@ -145,16 +145,16 @@ FleetDriverResult run_fleet_driver(const ScenarioParams& params,
   return result;
 }
 
-FleetDriverResult reference_fleet_result(const ScenarioParams& params,
+FleetDriverResult reference_fleet_result(const sim::ScenarioParams& params,
                                          const features::PredictionWindows&
                                              windows,
                                          const ml::BinaryClassifier* model,
-                                         const DimmSimParams& sim_params) {
-  const FleetTrace fleet = simulate_fleet(params, sim_params);
+                                         const sim::DimmSimParams& sim_params) {
+  const sim::FleetTrace fleet = sim::simulate_fleet(params, sim_params);
   const features::FeatureExtractor extractor(windows);
 
   FleetDriverResult result;
-  result.planned_dimms = plan_fleet(params).total();
+  result.planned_dimms = sim::plan_fleet(params).total();
   result.observed_dimms = fleet.dimms.size();
 
   std::vector<std::vector<features::Sample>> samples(fleet.dimms.size());
@@ -168,7 +168,7 @@ FleetDriverResult reference_fleet_result(const ScenarioParams& params,
   std::vector<std::uint8_t> scratch;
   ml::Matrix x;
   for (std::size_t i = 0; i < fleet.dimms.size(); ++i) {
-    const DimmTrace& dimm = fleet.dimms[i];
+    const sim::DimmTrace& dimm = fleet.dimms[i];
     result.ce_records += dimm.ces.size();
     result.mem_events += dimm.events.size();
     result.ue_records += dimm.ue.has_value() ? 1 : 0;
@@ -177,9 +177,9 @@ FleetDriverResult reference_fleet_result(const ScenarioParams& params,
     // shard's header/index/footer framing, so encoded_bytes is a stat, not
     // part of the byte-identity contract (the hashes are).
     scratch.clear();
-    encode_dimm_record(dimm, scratch);
+    sim::encode_dimm_record(dimm, scratch);
     result.encoded_bytes += scratch.size();
-    result.trace_hash = fnv1a_u64(result.trace_hash, trace_content_hash(dimm));
+    result.trace_hash = sim::fnv1a_u64(result.trace_hash, sim::trace_content_hash(dimm));
     for (const features::Sample& sample : samples[i]) {
       result.feature_hash = fold_sample_hash(result.feature_hash, sample);
       x.push_row(sample.features);
@@ -190,4 +190,4 @@ FleetDriverResult reference_fleet_result(const ScenarioParams& params,
   return result;
 }
 
-}  // namespace memfp::sim
+}  // namespace memfp::core

@@ -19,6 +19,9 @@
 // folded FNV-1a hashes over the observed DIMMs in id order (trace payload
 // bytes, sample rows, score bits); reference_fleet_result() computes the
 // same hashes from the resident path for equality checks at small scale.
+//
+// Lives in core (not sim) because it stitches sim + features + ml into one
+// driver; the layering rule (tools/lint) forbids sim from reaching up.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +34,7 @@
 #include "sim/scenario.h"
 #include "sim/trace_store.h"
 
-namespace memfp::sim {
+namespace memfp::core {
 
 struct FleetDriverConfig {
   /// Shard count K. Planned DIMMs are split into K near-equal contiguous id
@@ -63,9 +66,9 @@ struct FleetDriverResult {
   std::size_t samples = 0;
 
   /// Folded FNV-1a determinism hashes, in observed-DIMM id order.
-  std::uint64_t trace_hash = kFnvOffset;
-  std::uint64_t feature_hash = kFnvOffset;
-  std::uint64_t score_hash = kFnvOffset;
+  std::uint64_t trace_hash = sim::kFnvOffset;
+  std::uint64_t feature_hash = sim::kFnvOffset;
+  std::uint64_t score_hash = sim::kFnvOffset;
   /// Sum of model scores in sample order (a human-readable tripwire next to
   /// the exact score_hash).
   double score_sum = 0.0;
@@ -81,22 +84,22 @@ struct FleetDriverResult {
 /// Runs the sharded pipeline. `model` may be null to stop after extraction
 /// (simulate + encode + extract only). Deterministic in params.seed for any
 /// config.shards / config.num_threads.
-FleetDriverResult run_fleet_driver(const ScenarioParams& params,
+FleetDriverResult run_fleet_driver(const sim::ScenarioParams& params,
                                    const FleetDriverConfig& config,
                                    const ml::BinaryClassifier* model,
-                                   const DimmSimParams& sim_params = {});
+                                   const sim::DimmSimParams& sim_params = {});
 
 /// The same counters and hashes computed from the resident path
 /// (simulate_fleet + in-memory extraction/scoring, no spill). Small-scale
 /// equality oracle for the determinism contract.
-FleetDriverResult reference_fleet_result(const ScenarioParams& params,
-                                         const features::PredictionWindows&
-                                             windows,
-                                         const ml::BinaryClassifier* model,
-                                         const DimmSimParams& sim_params = {});
+FleetDriverResult reference_fleet_result(
+    const sim::ScenarioParams& params,
+    const features::PredictionWindows& windows,
+    const ml::BinaryClassifier* model,
+    const sim::DimmSimParams& sim_params = {});
 
 /// Folds one extracted sample (dimm, time, label, feature bits) into `h`.
 std::uint64_t fold_sample_hash(std::uint64_t h,
                                const features::Sample& sample);
 
-}  // namespace memfp::sim
+}  // namespace memfp::core

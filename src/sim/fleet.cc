@@ -225,6 +225,9 @@ DimmTrace simulate_planned_dimm(const PlannedDimm& job,
                                 const ScenarioParams& params,
                                 const DimmSimulator& simulator,
                                 const dram::Geometry& geometry) {
+  // job.rng is this DIMM's own planner fork and `job` is const, so the
+  // local copy below is the stream's only advancing instance.
+  // memfp-lint: allow(rng-discipline): job is const; sole advancing copy
   Rng dimm_rng = job.rng;
   const auto server = static_cast<std::uint32_t>(
       job.id / 2 % static_cast<std::uint32_t>(params.servers));

@@ -1,4 +1,4 @@
-// Determinism contract of the sharded fleet driver (src/sim/fleet_driver.h):
+// Determinism contract of the sharded fleet driver (src/core/fleet_driver.h):
 // for any shard count and any thread count, the spill-and-stream pipeline
 // produces traces, features, and scores byte-identical to the in-memory
 // path. Suite names carry "Determinism" so the TSan leg of tools/check.sh
@@ -12,9 +12,9 @@
 
 #include "common/thread_pool.h"
 #include "ml/model.h"
-#include "sim/fleet_driver.h"
+#include "core/fleet_driver.h"
 
-namespace memfp::sim {
+namespace memfp::core {
 namespace {
 
 std::string temp_store(const std::string& leaf) {
@@ -40,14 +40,14 @@ class LinearStub final : public ml::BinaryClassifier {
   Json to_json() const override { return Json::object(); }
 };
 
-ScenarioParams small_scenario() {
+sim::ScenarioParams small_scenario() {
   // ~170 planned DIMMs: big enough that every shard in a 16-way split is
   // non-trivial, small enough for a sub-minute matrix on one core.
-  return purley_scenario(/*seed=*/99).scaled(0.04);
+  return sim::purley_scenario(/*seed=*/99).scaled(0.04);
 }
 
 TEST(FleetDriverDeterminism, ShardAndThreadInvariant) {
-  const ScenarioParams params = small_scenario();
+  const sim::ScenarioParams params = small_scenario();
   const LinearStub model;
   const features::PredictionWindows windows;
   const FleetDriverResult reference =
@@ -81,15 +81,15 @@ TEST(FleetDriverDeterminism, ShardAndThreadInvariant) {
 }
 
 TEST(FleetDriverDeterminism, PlannerChunkingImmaterial) {
-  const ScenarioParams params = small_scenario();
-  FleetPlanner whole(params);
-  const std::vector<PlannedDimm> all = whole.take(whole.plan().total());
+  const sim::ScenarioParams params = small_scenario();
+  sim::FleetPlanner whole(params);
+  const std::vector<sim::PlannedDimm> all = whole.take(whole.plan().total());
 
-  FleetPlanner chunked(params);
-  std::vector<PlannedDimm> pieces;
+  sim::FleetPlanner chunked(params);
+  std::vector<sim::PlannedDimm> pieces;
   // Deliberately ragged chunks, including empty ones.
   for (const std::size_t chunk : {1u, 0u, 7u, 64u, 3u, 1000u, 9u}) {
-    for (const PlannedDimm& job : chunked.take(chunk)) {
+    for (const sim::PlannedDimm& job : chunked.take(chunk)) {
       pieces.push_back(job);
     }
   }
@@ -109,8 +109,8 @@ TEST(FleetDriverDeterminism, PlannerChunkingImmaterial) {
 TEST(FleetDriverDeterminism, SimulateFleetMatchesDriverTraces) {
   // The refactored in-memory builder and the sharded driver must agree on
   // the observed population, not just on hashes of it.
-  const ScenarioParams params = small_scenario();
-  const FleetTrace fleet = simulate_fleet(params);
+  const sim::ScenarioParams params = small_scenario();
+  const sim::FleetTrace fleet = sim::simulate_fleet(params);
 
   const std::string store = temp_store("memfp_fleet_driver_traces");
   FleetDriverConfig config;
@@ -120,20 +120,20 @@ TEST(FleetDriverDeterminism, SimulateFleetMatchesDriverTraces) {
   const FleetDriverResult run = run_fleet_driver(params, config, nullptr);
   ASSERT_EQ(run.observed_dimms, fleet.dimms.size());
 
-  std::uint64_t resident_hash = kFnvOffset;
-  for (const DimmTrace& dimm : fleet.dimms) {
-    resident_hash = fnv1a_u64(resident_hash, trace_content_hash(dimm));
+  std::uint64_t resident_hash = sim::kFnvOffset;
+  for (const sim::DimmTrace& dimm : fleet.dimms) {
+    resident_hash = sim::fnv1a_u64(resident_hash, sim::trace_content_hash(dimm));
   }
   EXPECT_EQ(run.trace_hash, resident_hash);
 
   // And the spilled records decode back to the same DIMMs in id order.
   std::size_t next = 0;
   for (const std::string& path : run.shard_files) {
-    const TraceReader reader(path);
+    const sim::TraceReader reader(path);
     for (std::size_t i = 0; i < reader.dimm_count(); ++i, ++next) {
       EXPECT_EQ(reader.read_dimm(i).id, fleet.dimms[next].id);
-      EXPECT_EQ(trace_content_hash(reader.read_dimm(i)),
-                trace_content_hash(fleet.dimms[next]));
+      EXPECT_EQ(sim::trace_content_hash(reader.read_dimm(i)),
+                sim::trace_content_hash(fleet.dimms[next]));
     }
   }
   EXPECT_EQ(next, fleet.dimms.size());
@@ -142,7 +142,7 @@ TEST(FleetDriverDeterminism, SimulateFleetMatchesDriverTraces) {
 
 TEST(FleetDriverDeterminism, BoundedWorkingSetStats) {
   // Spilled bytes and event counts add up across shards exactly.
-  const ScenarioParams params = small_scenario();
+  const sim::ScenarioParams params = small_scenario();
   const std::string store = temp_store("memfp_fleet_driver_stats");
   FleetDriverConfig config;
   config.store_dir = store;
@@ -154,7 +154,7 @@ TEST(FleetDriverDeterminism, BoundedWorkingSetStats) {
   std::size_t dimms = 0;
   for (const std::string& path : run.shard_files) {
     file_bytes += std::filesystem::file_size(path);
-    dimms += TraceReader(path).dimm_count();
+    dimms += sim::TraceReader(path).dimm_count();
   }
   EXPECT_EQ(file_bytes, run.encoded_bytes);
   EXPECT_EQ(dimms, run.observed_dimms);
@@ -162,4 +162,4 @@ TEST(FleetDriverDeterminism, BoundedWorkingSetStats) {
 }
 
 }  // namespace
-}  // namespace memfp::sim
+}  // namespace memfp::core

@@ -1,9 +1,11 @@
 // Tests for the in-tree analyzer (tools/lint): every rule must fire on its
 // violation fixture, stay silent on the clean fixture, and respect an
 // allow() suppression with a justification. The fixtures live in raw
-// strings, which also exercises the scrubber: when memfp_lint walks the real
+// strings, which also exercises the lexer: when memfp_lint walks the real
 // tree it lints THIS file, and none of the snippets below may leak out of
-// their literals.
+// their literals. Cross-TU rules (layering, cross-file unordered-iter) are
+// driven through lint_files() with multi-file fixture sets, and the
+// self-hosting test at the bottom lints the real checkout.
 #include "lint_core.h"
 
 #include <algorithm>
@@ -452,6 +454,329 @@ TEST(LintArchIntrinsics, SuppressedWithJustification) {
 }
 
 // ---------------------------------------------------------------------------
+// layering (cross-TU: the module DAG is machine-checked)
+// ---------------------------------------------------------------------------
+
+TEST(LintLayering, FiresOnUpwardInclude) {
+  const auto violations =
+      lint_source("src/sim/x.cc", "#include \"ml/model.h\"\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "layering");
+  EXPECT_NE(violations[0].message.find("climbs the module DAG"),
+            std::string::npos);
+}
+
+TEST(LintLayering, FiresOnUnsanctionedSiblingInclude) {
+  const auto rules = rules_found("src/sim/x.cc",
+                                 "#include \"features/extractor.h\"\n");
+  EXPECT_EQ(count_rule(rules, "layering"), 1);
+}
+
+TEST(LintLayering, SilentOnDownwardAndSanctionedLateralIncludes) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    #include "common/check.h"
+    #include "features/extractor.h"
+    #include "ml/model.h"
+  )cc")
+                  .empty());
+  // The three sanctioned lateral edges.
+  EXPECT_TRUE(
+      rules_found("src/features/x.cc", "#include \"sim/trace.h\"\n")
+          .empty());
+  EXPECT_TRUE(
+      rules_found("src/core/x.cc", "#include \"baseline/risky_ce_pattern.h\"\n")
+          .empty());
+  EXPECT_TRUE(
+      rules_found("src/mlops/x.cc", "#include \"core/pipeline.h\"\n").empty());
+}
+
+TEST(LintLayering, FiresOnUnknownModule) {
+  const auto violations = lint_source("src/telemetry/x.cc", "int x = 0;\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "layering");
+  EXPECT_NE(violations[0].message.find("not in the layering DAG"),
+            std::string::npos);
+}
+
+TEST(LintLayering, ReportsIncludeCyclesWithTheChain) {
+  const auto violations = lint_files({
+      {"src/dram/a.h", "#pragma once\n#include \"dram/b.h\"\n"},
+      {"src/dram/b.h", "#pragma once\n#include \"dram/a.h\"\n"},
+  });
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "layering");
+  EXPECT_NE(violations[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(violations[0].message.find(
+                "src/dram/a.h -> src/dram/b.h -> src/dram/a.h"),
+            std::string::npos);
+}
+
+TEST(LintLayering, ScopedToSrcAndSuppressible) {
+  // Tests may include anything.
+  EXPECT_TRUE(rules_found("tests/test_x.cc", R"cc(
+    #include "ml/model.h"
+    #include "sim/fleet.h"
+  )cc")
+                  .empty());
+  EXPECT_TRUE(rules_found("src/sim/x.cc", R"cc(
+    // memfp-lint: allow(layering): transitional edge, removal in ROADMAP
+    #include "ml/model.h"
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter, cross-file (the symbol table crosses the include DAG)
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIter, SeesMembersDeclaredInTransitiveHeaders) {
+  const auto violations = lint_files({
+      {"src/features/bank.h",
+       "#pragma once\n"
+       "struct BankState { std::unordered_map<int, int> rows; };\n"},
+      {"src/features/state.h",
+       "#pragma once\n"
+       "#include \"features/bank.h\"\n"
+       "struct State { BankState bank; };\n"},
+      {"src/features/use.cc",
+       "#include \"features/state.h\"\n"
+       "int f(const State& s) {\n"
+       "  int t = 0;\n"
+       "  for (const auto& [k, v] : s.bank.rows) t += v;\n"
+       "  return t;\n"
+       "}\n"},
+  });
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].file, "src/features/use.cc");
+  EXPECT_EQ(violations[0].rule, "unordered-iter");
+  // The diagnostic names the declaring header, two includes away.
+  EXPECT_NE(violations[0].message.find("src/features/bank.h:2"),
+            std::string::npos);
+}
+
+TEST(LintUnorderedIter, BareNameBindsWithinModuleOnly) {
+  // Same module: a bare member name declared in the module's header fires.
+  EXPECT_EQ(lint_files({
+                {"src/features/state.h",
+                 "#pragma once\n"
+                 "struct S { std::unordered_set<int> devices_seen_; };\n"},
+                {"src/features/use.cc",
+                 "#include \"features/state.h\"\n"
+                 "int S_count() {\n"
+                 "  int t = 0;\n"
+                 "  for (int d : devices_seen_) t += d;\n"
+                 "  return t;\n"
+                 "}\n"},
+            })
+                .size(),
+            1u);
+  // Another module's bare local with a colliding name does not: only
+  // member access (s.rows / s->rows) binds across module boundaries.
+  EXPECT_TRUE(lint_files({
+                  {"src/features/state.h",
+                   "#pragma once\n"
+                   "struct S { std::unordered_set<int> rows; };\n"},
+                  {"src/ml/use.cc",
+                   "#include \"features/state.h\"\n"
+                   "int f(const std::vector<int>& rows) {\n"
+                   "  int t = 0;\n"
+                   "  for (int v : rows) t += v;\n"
+                   "  return t;\n"
+                   "}\n"},
+              })
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// parallel-capture
+// ---------------------------------------------------------------------------
+
+TEST(LintParallelCapture, FiresOnSharedAccumulatorWrite) {
+  const auto rules = rules_found("src/ml/x.cc", R"cc(
+    void f(std::vector<double>& out) {
+      double total = 0.0;
+      ThreadPool::global().parallel_for(out.size(), [&](std::size_t i) {
+        total += out[i];
+      });
+    }
+  )cc");
+  EXPECT_EQ(count_rule(rules, "parallel-capture"), 1);
+}
+
+TEST(LintParallelCapture, FiresOnPushBackToSharedVector) {
+  const auto rules = rules_found("src/features/x.cc", R"cc(
+    void gather(std::vector<int>& hits) {
+      ThreadPool::global().parallel_for_chunks(
+          0, 100, [&](std::size_t begin, std::size_t end) {
+            hits.push_back(static_cast<int>(begin));
+          });
+    }
+  )cc");
+  EXPECT_EQ(count_rule(rules, "parallel-capture"), 1);
+}
+
+TEST(LintParallelCapture, SilentOnIndexedSlotsAndLocals) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    void f(std::vector<double>& out, const std::vector<double>& in) {
+      ThreadPool::global().parallel_for(out.size(), [&](std::size_t i) {
+        double acc = 0.0;
+        acc += in[i];
+        out[i] = acc;
+      });
+    }
+  )cc")
+                  .empty());
+}
+
+TEST(LintParallelCapture, SilentOutsideParallelBodies) {
+  // The same shape in a plain lambda is just serial code.
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    void f(const std::vector<double>& in) {
+      double total = 0.0;
+      std::for_each(in.begin(), in.end(), [&](double v) { total += v; });
+    }
+  )cc")
+                  .empty());
+}
+
+TEST(LintParallelCapture, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/ml/x.cc", R"cc(
+    void f(std::vector<double>& out, double& total) {
+      ThreadPool::global().parallel_for(out.size(), [&](std::size_t i) {
+        // memfp-lint: allow(parallel-capture): slot is mutex-guarded
+        total += out[i];
+      });
+    }
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// rng-discipline
+// ---------------------------------------------------------------------------
+
+TEST(LintRngDiscipline, FiresOnByValueParameter) {
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    double jitter(Rng rng, double scale);
+  )cc"),
+                       "rng-discipline"),
+            1);
+}
+
+TEST(LintRngDiscipline, FiresOnPlainCopy) {
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    void f(Rng& parent) {
+      Rng child = parent;
+      child.next();
+    }
+  )cc"),
+                       "rng-discipline"),
+            1);
+}
+
+TEST(LintRngDiscipline, FiresOnConstructionInParallelBody) {
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    void f(std::vector<double>& out, std::uint64_t seed) {
+      ThreadPool::global().parallel_for(out.size(), [&, seed](std::size_t i) {
+        Rng task_rng(seed + i);
+        out[i] = task_rng.uniform();
+      });
+    }
+  )cc"),
+                       "rng-discipline"),
+            1);
+}
+
+TEST(LintRngDiscipline, FiresOnDiscardedFork) {
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    void burn(Rng& rng) {
+      rng.fork();
+    }
+  )cc"),
+                       "rng-discipline"),
+            1);
+}
+
+TEST(LintRngDiscipline, FiresOnValueCapturedRng) {
+  EXPECT_EQ(count_rule(rules_found("src/sim/x.cc", R"cc(
+    void f(Rng& parent) {
+      Rng master = parent.fork(0);
+      auto draw = [master]() mutable { return master.uniform(); };
+      draw();
+    }
+  )cc"),
+                       "rng-discipline"),
+            1);
+}
+
+TEST(LintRngDiscipline, SilentOnForkedStreamsAndReferences) {
+  EXPECT_TRUE(rules_found("src/sim/x.cc", R"cc(
+    double jitter(Rng& rng, double scale) { return rng.uniform() * scale; }
+    void f(std::vector<double>& out, Rng& base) {
+      Rng child = base.fork(7);
+      ThreadPool::global().parallel_for(out.size(), [&](std::size_t i) {
+        Rng task_rng = base.fork(i);
+        out[i] = task_rng.uniform();
+      });
+      auto draw = [rng = child.fork(1)]() mutable { return rng.uniform(); };
+      out[0] += draw();
+    }
+  )cc")
+                  .empty());
+  // The Rng implementation itself is exempt.
+  EXPECT_TRUE(rules_found("src/common/rng.cc", R"cc(
+    Rng copy = other;
+  )cc")
+                  .empty());
+}
+
+TEST(LintRngDiscipline, SuppressedWithJustification) {
+  EXPECT_TRUE(rules_found("src/sim/x.cc", R"cc(
+    void f(const PlannedDimm& job) {
+      // memfp-lint: allow(rng-discipline): job is const; sole advancing copy
+      Rng dimm_rng = job.rng;
+      dimm_rng.next();
+    }
+  )cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Project graph: include resolution, reachability, DOT emission
+// ---------------------------------------------------------------------------
+
+TEST(LintGraph, DotIsDeterministicAndClusteredByModule) {
+  std::vector<std::pair<std::string, std::string>> sources = {
+      {"src/ml/a.h", "#pragma once\n"},
+      {"src/common/b.h", "#pragma once\n"},
+      {"src/ml/c.cc", "#include \"ml/a.h\"\n#include \"common/b.h\"\n"},
+  };
+  const std::string forward = ProjectGraph::build(sources).to_dot();
+  std::reverse(sources.begin(), sources.end());
+  const std::string reversed = ProjectGraph::build(sources).to_dot();
+  EXPECT_EQ(forward, reversed);  // byte-identical for any input order
+  EXPECT_NE(forward.find("cluster_common"), std::string::npos);
+  EXPECT_NE(forward.find("cluster_ml"), std::string::npos);
+  EXPECT_NE(forward.find("->"), std::string::npos);
+}
+
+TEST(LintGraph, ReachabilityIsTransitive) {
+  const ProjectGraph graph = ProjectGraph::build({
+      {"src/common/a.h", "#pragma once\n"},
+      {"src/dram/b.h", "#pragma once\n#include \"common/a.h\"\n"},
+      {"src/sim/c.cc", "#include \"dram/b.h\"\n"},
+  });
+  const int c = graph.find("src/sim/c.cc");
+  ASSERT_GE(c, 0);
+  const std::vector<int> seen = graph.reachable(c);
+  ASSERT_EQ(seen.size(), 2u);  // b.h directly, a.h transitively
+  EXPECT_EQ(graph.files()[static_cast<std::size_t>(seen[0])].path,
+            "src/common/a.h");
+  EXPECT_EQ(graph.files()[static_cast<std::size_t>(seen[1])].path,
+            "src/dram/b.h");
+}
+
+// ---------------------------------------------------------------------------
 // Suppression mechanics
 // ---------------------------------------------------------------------------
 
@@ -497,6 +822,16 @@ TEST(LintSuppressions, AllowOnlyCoversItsOwnRule) {
   EXPECT_EQ(count_rule(rules, "unused-allow"), 1);
 }
 
+TEST(LintSuppressions, UnusedAllowsForCrossTuRulesAreFlagged) {
+  for (const char* rule : {"layering", "parallel-capture", "rng-discipline",
+                           "unordered-iter"}) {
+    const auto rules = rules_found(
+        "src/ml/x.cc", std::string("// memfp-lint: allow(") + rule +
+                           "): stale waiver\nint x = 0;\n");
+    EXPECT_EQ(count_rule(rules, "unused-allow"), 1) << rule;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Scrubber: literals and comments never trigger rules
 // ---------------------------------------------------------------------------
@@ -518,31 +853,44 @@ TEST(LintScrubber, RawStringsAreInvisible) {
   EXPECT_TRUE(rules_found("src/ml/x.cc", nested).empty());
 }
 
-TEST(LintScrubber, ViolationCarriesFileLineAndRule) {
+TEST(LintScrubber, ViolationCarriesFileLineColAndRule) {
   const auto violations = lint_source("src/ml/x.cc",
                                       "int a = 0;\n"
                                       "int* p = new int(3);\n");
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_EQ(violations[0].file, "src/ml/x.cc");
   EXPECT_EQ(violations[0].line, 2);
+  EXPECT_EQ(violations[0].col, 10);
   EXPECT_EQ(violations[0].rule, "naked-new");
 }
 
-TEST(LintFormat, OneLinePerViolation) {
+TEST(LintFormat, CompilerStyleOneLinePerViolation) {
   const auto violations = lint_source("src/ml/x.cc", "int* p = new int;\n");
   const std::string text = format(violations);
-  EXPECT_NE(text.find("src/ml/x.cc:1: [naked-new]"), std::string::npos);
+  EXPECT_NE(text.find("src/ml/x.cc:1:10: [naked-new]"), std::string::npos);
 }
 
 // The catalog the suppression parser accepts must cover every rule the
 // engine can emit (meta rules excluded — they are never suppressible).
 TEST(LintRules, CatalogIsComplete) {
   const std::vector<std::string> expected = {
-      "unseeded-random", "wall-clock",     "unordered-iter",
-      "bare-assert",     "naked-new",      "thread-spawn",
-      "pragma-once",     "banned-include", "arch-intrinsics"};
+      "unseeded-random", "wall-clock",       "unordered-iter",
+      "bare-assert",     "naked-new",        "thread-spawn",
+      "pragma-once",     "banned-include",   "arch-intrinsics",
+      "layering",        "parallel-capture", "rng-discipline"};
   EXPECT_EQ(rule_names(), expected);
 }
+
+// ---------------------------------------------------------------------------
+// Self-hosting: the real checkout must lint clean
+// ---------------------------------------------------------------------------
+
+#ifdef MEMFP_LINT_SELF_HOST_ROOT
+TEST(LintSelfHost, RepoTreeIsClean) {
+  const auto violations = lint_tree(MEMFP_LINT_SELF_HOST_ROOT);
+  EXPECT_TRUE(violations.empty()) << "\n" << format(violations);
+}
+#endif
 
 }  // namespace
 }  // namespace memfp::lint

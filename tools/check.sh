@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Verification matrix: the correctness gate every PR runs before merging.
 #
-#   leg 1  lint      memfp-lint static analysis over src/, tests/, bench/
+#   leg 1  lint      memfp-lint v2 static analysis over src/, tests/, bench/
+#                    (token streams + cross-TU project graph: layering,
+#                    parallel-capture, rng-discipline, unordered-iter).
+#                    Builds ONLY the memfp_lint target, so the leg answers
+#                    in seconds; `memfp_lint --rule=<name>` and `--graph`
+#                    (include-DAG DOT dump) are available for local triage.
 #   leg 2  werror    clean -Wall -Wextra -Werror build + full ctest
 #   leg 3  asan      AddressSanitizer + UBSan build, full ctest
 #   leg 4  tsan      ThreadSanitizer build, thread-pool + parallel
@@ -44,8 +49,11 @@ configure_and_build() {
 }
 
 run_lint() {
-  log "leg: lint (memfp-lint static analysis)"
-  local dir="$MATRIX_ROOT/lint"
+  log "leg: lint (memfp-lint v2 static analysis)"
+  # Shares the plain configure with scalar/bench/tidy but builds only the
+  # analyzer target: a standalone `tools/check.sh lint` stays a seconds-fast
+  # pre-commit gate even on a cold tree.
+  local dir="$MATRIX_ROOT/plain"
   cmake -B "$dir" -S "$ROOT" > /dev/null
   cmake --build "$dir" -j "$JOBS" --target memfp_lint
   "$dir/tools/lint/memfp_lint" "$ROOT"
@@ -80,7 +88,7 @@ run_tsan() {
 
 run_scalar() {
   log "leg: scalar (MEMFP_SIMD=scalar, full ctest)"
-  local dir="$MATRIX_ROOT/lint"  # reuse the plain (non-sanitizer) configure
+  local dir="$MATRIX_ROOT/plain"  # reuse the plain (non-sanitizer) configure
   cmake -B "$dir" -S "$ROOT" > /dev/null
   cmake --build "$dir" -j "$JOBS"
   # Same binaries, reference kernel table only: proves nothing silently
@@ -92,7 +100,7 @@ run_scalar() {
 
 run_bench() {
   log "leg: bench (bench_micro smoke run)"
-  local dir="$MATRIX_ROOT/lint"  # reuse the plain (non-sanitizer) configure
+  local dir="$MATRIX_ROOT/plain"  # reuse the plain (non-sanitizer) configure
   cmake -B "$dir" -S "$ROOT" > /dev/null
   cmake --build "$dir" -j "$JOBS" --target bench_micro
   # One fast pass over the perf-tracked benches: catches bench-only build
@@ -113,7 +121,7 @@ run_tidy() {
     echo "clang-tidy not installed; skipping advisory leg" >&2
     return 0
   fi
-  local dir="$MATRIX_ROOT/lint"  # reuse the plain configure
+  local dir="$MATRIX_ROOT/plain"  # reuse the plain configure
   cmake -B "$dir" -S "$ROOT" > /dev/null
   find "$ROOT/src" -name '*.cc' -print0 |
     xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet

@@ -1,0 +1,352 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace memfp::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Multi-character punctuators, longest first within each length class.
+constexpr const char* kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+constexpr const char* kPunct2[] = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "##", ".*",
+};
+
+/// Cursor over the raw text that splices backslash-newline (the physical
+/// line count still advances) and tracks line/column.
+struct Cursor {
+  std::string_view text;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  bool done() const { return i >= text.size(); }
+
+  /// Current character after splice processing; '\0' at EOF.
+  char peek(std::size_t ahead = 0) {
+    splice();
+    std::size_t j = i;
+    int skip = static_cast<int>(ahead);
+    while (skip > 0 && j < text.size()) {
+      ++j;
+      while (j + 1 < text.size() && text[j] == '\\' &&
+             (text[j + 1] == '\n' ||
+              (text[j + 1] == '\r' && j + 2 < text.size() &&
+               text[j + 2] == '\n'))) {
+        j += text[j + 1] == '\r' ? 3 : 2;
+      }
+      --skip;
+    }
+    return j < text.size() ? text[j] : '\0';
+  }
+
+  /// Consumes one character (after splice processing).
+  char advance() {
+    splice();
+    if (done()) return '\0';
+    const char c = text[i++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  }
+
+ private:
+  /// Skips any backslash-newline splices at the cursor.
+  void splice() {
+    while (i + 1 < text.size() && text[i] == '\\') {
+      if (text[i + 1] == '\n') {
+        i += 2;
+      } else if (text[i + 1] == '\r' && i + 2 < text.size() &&
+                 text[i + 2] == '\n') {
+        i += 3;
+      } else {
+        return;
+      }
+      ++line;
+      col = 1;
+    }
+  }
+};
+
+struct Lexer {
+  Cursor cur;
+  Lexed out;
+  bool at_line_start = true;  ///< no token yet on this logical line
+
+  void push(TokKind kind, std::string text, int line, int col) {
+    out.tokens.push_back({kind, std::move(text), line, col});
+    at_line_start = false;
+  }
+
+  void run() {
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (c == '\n') {
+        cur.advance();
+        at_line_start = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        cur.advance();
+        continue;
+      }
+      if (c == '/' && cur.peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && cur.peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        directive();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier_or_literal();
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(cur.peek(1)))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(false);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+  }
+
+  void line_comment() {
+    const int line = cur.line;
+    cur.advance();
+    cur.advance();  // //
+    std::string text;
+    while (!cur.done() && cur.peek() != '\n') text.push_back(cur.advance());
+    out.comments.push_back({line, std::move(text)});
+  }
+
+  void block_comment() {
+    int line = cur.line;
+    cur.advance();
+    cur.advance();  // /*
+    std::string text;
+    while (!cur.done()) {
+      if (cur.peek() == '*' && cur.peek(1) == '/') {
+        cur.advance();
+        cur.advance();
+        break;
+      }
+      const char c = cur.advance();
+      if (c == '\n') {
+        // Each physical line of a block comment is its own entry, so
+        // per-line allow() anchoring works the same as for // comments.
+        out.comments.push_back({line, std::move(text)});
+        text.clear();
+        line = cur.line;
+      } else {
+        text.push_back(c);
+      }
+    }
+    out.comments.push_back({line, std::move(text)});
+  }
+
+  /// Preprocessor directive. #include captures a header-name token; every
+  /// other directive lexes its tokens normally (so `#pragma once` is the
+  /// token sequence `#` `pragma` `once`).
+  void directive() {
+    const int line = cur.line;
+    const int col = cur.col;
+    cur.advance();  // #
+    push(TokKind::kPunct, "#", line, col);
+    // Peek the directive name without consuming non-include directives.
+    while (cur.peek() == ' ' || cur.peek() == '\t') cur.advance();
+    if (!ident_start(cur.peek())) return;
+    const int name_line = cur.line;
+    const int name_col = cur.col;
+    std::string name;
+    while (ident_char(cur.peek())) name.push_back(cur.advance());
+    push(TokKind::kIdent, name, name_line, name_col);
+    if (name != "include") return;
+    while (cur.peek() == ' ' || cur.peek() == '\t') cur.advance();
+    const char open = cur.peek();
+    if (open != '<' && open != '"') return;
+    const char close = open == '<' ? '>' : '"';
+    const int h_line = cur.line;
+    const int h_col = cur.col;
+    cur.advance();
+    std::string path;
+    while (!cur.done() && cur.peek() != close && cur.peek() != '\n') {
+      path.push_back(cur.advance());
+    }
+    if (cur.peek() == close) cur.advance();
+    out.includes.push_back({path, open == '<', line, col});
+    push(TokKind::kHeader, std::move(path), h_line, h_col);
+  }
+
+  /// Identifier, or a string/char literal with an encoding prefix
+  /// (u8"", L'x', R"()", u8R"()", ...).
+  void identifier_or_literal() {
+    const int line = cur.line;
+    const int col = cur.col;
+    std::string text;
+    while (ident_char(cur.peek())) text.push_back(cur.advance());
+    const char next = cur.peek();
+    const bool prefix =
+        text == "R" || text == "L" || text == "u" || text == "U" ||
+        text == "u8" || text == "LR" || text == "uR" || text == "UR" ||
+        text == "u8R";
+    if (prefix && next == '"') {
+      string_literal(text.ends_with('R'), line, col);
+      return;
+    }
+    if (prefix && next == '\'' && text.find('R') == std::string::npos) {
+      char_literal(line, col);
+      return;
+    }
+    push(TokKind::kIdent, std::move(text), line, col);
+  }
+
+  void number() {
+    const int line = cur.line;
+    const int col = cur.col;
+    std::string text;
+    text.push_back(cur.advance());
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (ident_char(c) || c == '.' ||
+          (c == '\'' && ident_char(cur.peek(1)))) {
+        text.push_back(cur.advance());
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char e = text.back();
+        if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+          text.push_back(cur.advance());
+          continue;
+        }
+      }
+      break;
+    }
+    push(TokKind::kNumber, std::move(text), line, col);
+  }
+
+  void string_literal(bool raw, int line = 0, int col = 0) {
+    if (line == 0) {
+      line = cur.line;
+      col = cur.col;
+    }
+    cur.advance();  // opening "
+    if (raw) {
+      // R"delim( body )delim" — no escapes, newlines are literal. Work on
+      // the raw text directly: splices inside a raw string are content.
+      std::string delim;
+      while (!cur.done() && cur.peek() != '(' && cur.peek() != '\n') {
+        delim.push_back(cur.advance());
+      }
+      if (cur.peek() == '(') cur.advance();
+      const std::string terminator = ")" + delim + "\"";
+      std::string window;
+      while (!cur.done()) {
+        window.push_back(cur.advance());
+        if (window.size() > terminator.size()) {
+          window.erase(window.begin());
+        }
+        if (window == terminator) break;
+      }
+    } else {
+      while (!cur.done()) {
+        const char c = cur.peek();
+        if (c == '\\') {
+          cur.advance();
+          cur.advance();
+          continue;
+        }
+        if (c == '\n') break;  // unterminated; resync at newline
+        cur.advance();
+        if (c == '"') break;
+      }
+    }
+    push(TokKind::kString, "", line, col);
+  }
+
+  void char_literal(int line = 0, int col = 0) {
+    if (line == 0) {
+      line = cur.line;
+      col = cur.col;
+    }
+    cur.advance();  // opening '
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (c == '\\') {
+        cur.advance();
+        cur.advance();
+        continue;
+      }
+      if (c == '\n') break;
+      cur.advance();
+      if (c == '\'') break;
+    }
+    push(TokKind::kChar, "", line, col);
+  }
+
+  void punct() {
+    const int line = cur.line;
+    const int col = cur.col;
+    const char a = cur.peek();
+    const char b = cur.peek(1);
+    const char c = cur.peek(2);
+    const std::string three = {a, b, c};
+    for (const char* p : kPunct3) {
+      if (three == p) {
+        cur.advance();
+        cur.advance();
+        cur.advance();
+        push(TokKind::kPunct, p, line, col);
+        return;
+      }
+    }
+    const std::string two = {a, b};
+    for (const char* p : kPunct2) {
+      if (two == p) {
+        cur.advance();
+        cur.advance();
+        push(TokKind::kPunct, p, line, col);
+        return;
+      }
+    }
+    cur.advance();
+    push(TokKind::kPunct, std::string(1, a), line, col);
+  }
+};
+
+}  // namespace
+
+Lexed lex(std::string_view text) {
+  Lexer lexer;
+  lexer.cur.text = text;
+  lexer.run();
+  return lexer.out;
+}
+
+}  // namespace memfp::lint

@@ -1,0 +1,73 @@
+// memfp-lint v2 tokenizer: a real lexical pass over one translation unit.
+//
+// v1 blanked comments and literals and then regex-matched per line, which
+// meant every rule was blind to constructs that span lines (a template
+// argument list wrapped by clang-format, a lambda capture list broken at a
+// comma) and could not report a column. The lexer produces the three
+// streams the analyzer consumes instead:
+//
+//   * tokens    — identifiers, numbers, punctuation, string/char literals,
+//                 each stamped with its 1-based line and column. Multi-char
+//                 operators (::, ->, +=, >>, ...) arrive as single tokens,
+//                 so "a >> b" and nested-template ">>" are distinguishable
+//                 by context, and "==" can never be mistaken for "=".
+//   * comments  — verbatim comment texts with their starting line, feeding
+//                 the `memfp-lint: allow(...)` suppression parser.
+//   * includes  — #include directives with the header-name captured as one
+//                 unit (the lexer never tokenizes "<ml/model.h>" into
+//                 operator soup), feeding the project include graph and the
+//                 include-based rules.
+//
+// The lexer handles raw strings (R"delim(...)delim"), encoding prefixes
+// (u8R"", L'x'), digit separators (1'000'000), backslash-newline splices
+// inside macro definitions (line numbers stay aligned with the physical
+// file), and preprocessor directives. It does not expand macros or track
+// conditional compilation — rules see every branch of an #if, which is the
+// conservative direction for a hygiene checker.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memfp::lint {
+
+enum class TokKind {
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< pp-number (integer, float, with separators/suffixes)
+  kPunct,   ///< operator / punctuator, longest-match
+  kString,  ///< string literal (any prefix, raw or not); text is ""
+  kChar,    ///< character literal; text is ""
+  kHeader,  ///< header-name of an #include; text is the path inside <> or ""
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;  ///< 1-based physical line of the first character
+  int col = 1;   ///< 1-based byte column of the first character
+};
+
+struct Comment {
+  int line = 1;  ///< line the comment starts on
+  std::string text;
+};
+
+struct IncludeDirective {
+  std::string path;     ///< header-name, e.g. "ml/model.h" or "vector"
+  bool angled = false;  ///< <...> (true) vs "..." (false)
+  int line = 1;
+  int col = 1;  ///< column of the '#'
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenizes one file. Never fails: unterminated literals end at the next
+/// newline (line numbers stay aligned), unknown bytes become 1-char puncts.
+Lexed lex(std::string_view text);
+
+}  // namespace memfp::lint

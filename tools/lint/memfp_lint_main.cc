@@ -1,14 +1,96 @@
-// CLI for the in-tree analyzer: `memfp_lint <repo-root>` lints src/,
-// tests/ and bench/ and exits non-zero on any violation. Registered as the
-// `lint` ctest target, so `ctest` fails on a rule breach.
+// CLI for the in-tree analyzer. Registered as the `lint` ctest target, so
+// plain `ctest` fails on a rule breach.
+//
+//   memfp_lint [options] [<repo-root>] [<file>...]
+//
+//   <repo-root>        directory to walk (default "."); src/, tests/ and
+//                      bench/ below it are linted as one program
+//   <file>...          lint only these repo-relative files (the project
+//                      graph is still built from the whole tree, so
+//                      cross-TU rules see every header)
+//   --rule=<name>      report only this rule (repeatable)
+//   --graph            also write the include DAG to build/lint_graph.dot
+//                      under the build dir (or CWD when run by hand)
+//   --list-rules       print the rule catalog and exit
+//
+// Diagnostics are compiler-style `file:line:col: [rule] message`, and the
+// exit status is non-zero only when violations remain after filtering.
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "lint_core.h"
 
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: memfp_lint [--rule=<name>]... [--graph] "
+               "[--list-rules] [<repo-root>] [<file>...]\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string root = argc > 1 ? argv[1] : ".";
-  const std::vector<memfp::lint::Violation> violations =
-      memfp::lint::lint_tree(root);
+  std::string root;
+  std::vector<std::string> only_files;
+  std::set<std::string> only_rules;
+  bool want_graph = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rule=", 0) == 0) {
+      const std::string rule = arg.substr(7);
+      const auto& names = memfp::lint::rule_names();
+      if (std::find(names.begin(), names.end(), rule) == names.end()) {
+        std::fprintf(stderr, "memfp_lint: unknown rule '%s'\n",
+                     rule.c_str());
+        return 2;
+      }
+      only_rules.insert(rule);
+    } else if (arg == "--graph") {
+      want_graph = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& name : memfp::lint::rule_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage();
+      return 2;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      only_files.push_back(arg);
+    }
+  }
+  if (root.empty()) root.push_back('.');  // (not `= "."`: GCC 12 -Wrestrict FP)
+
+  const auto graph =
+      memfp::lint::ProjectGraph::build(memfp::lint::read_tree(root));
+  if (want_graph) {
+    namespace fs = std::filesystem;
+    const fs::path build_dir = fs::path(root) / "build";
+    const fs::path dot_path =
+        (fs::exists(build_dir) ? build_dir : fs::path(".")) /
+        "lint_graph.dot";
+    std::ofstream out(dot_path);
+    out << graph.to_dot();
+    std::printf("memfp-lint: wrote %s\n", dot_path.string().c_str());
+  }
+
+  std::vector<memfp::lint::Violation> violations =
+      memfp::lint::lint_graph(graph);
+  if (!only_files.empty() || !only_rules.empty()) {
+    const std::set<std::string> files(only_files.begin(), only_files.end());
+    std::erase_if(violations, [&](const memfp::lint::Violation& v) {
+      if (!files.empty() && files.count(v.file) == 0) return true;
+      return !only_rules.empty() && only_rules.count(v.rule) == 0;
+    });
+  }
   if (violations.empty()) {
     std::printf("memfp-lint: clean\n");
     return 0;

@@ -1,0 +1,223 @@
+#include "project_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace memfp::lint {
+namespace {
+
+bool tok_is(const Token& t, std::string_view s) { return t.text == s; }
+
+/// Skips a balanced template argument list. `i` points at the opening '<';
+/// returns the index one past the matching close (handles '>>' closing two
+/// levels at once). Returns npos-equivalent (tokens.size()) on runaway.
+std::size_t skip_template_args(const std::vector<Token>& tokens,
+                               std::size_t i) {
+  int depth = 0;
+  for (; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") --depth;
+    if (t == ">>") depth -= 2;
+    if (depth <= 0 && t != "<") return i + 1;
+  }
+  return tokens.size();
+}
+
+/// Record declarator names following a container/Rng type spelling.
+/// `i` points just past the type (and its template args). Accepts
+/// `& * const` decorations, then `name` terminated by a declarator-ish
+/// token, then single-token comma chains (`neg, pos;`). Parameter lists
+/// stop naturally: in `& m, int x)` the chain after the comma is two
+/// identifiers, which is not a single-token declarator.
+void collect_declarators(const std::vector<Token>& tokens, std::size_t i,
+                         std::vector<UnorderedDecl>& out) {
+  static const std::set<std::string, std::less<>> kAfterName = {
+      ";", "=", "{", ",", ")", ":", "[", "("};
+  while (i < tokens.size() &&
+         (tok_is(tokens[i], "&") || tok_is(tokens[i], "*") ||
+          tok_is(tokens[i], "const"))) {
+    ++i;
+  }
+  if (i + 1 >= tokens.size() || tokens[i].kind != TokKind::kIdent ||
+      kAfterName.find(tokens[i + 1].text) == kAfterName.end()) {
+    return;
+  }
+  out.push_back({tokens[i].text, tokens[i].line});
+  // `a, b;` comma chains: only single-token declarators continue the list.
+  i += 1;
+  while (i + 2 < tokens.size() && tok_is(tokens[i], ",") &&
+         tokens[i + 1].kind == TokKind::kIdent &&
+         (tok_is(tokens[i + 2], ";") || tok_is(tokens[i + 2], "=") ||
+          tok_is(tokens[i + 2], "{") || tok_is(tokens[i + 2], ","))) {
+    out.push_back({tokens[i + 1].text, tokens[i + 1].line});
+    i += 2;
+  }
+}
+
+void collect_symbols(FileNode& node) {
+  const std::vector<Token>& tokens = node.lexed.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "unordered_map" || t.text == "unordered_set") {
+      if (i + 1 < tokens.size() && tok_is(tokens[i + 1], "<")) {
+        const std::size_t after = skip_template_args(tokens, i + 1);
+        collect_declarators(tokens, after, node.unordered);
+      }
+      continue;
+    }
+    if (t.text == "Rng") {
+      // `Rng name ...` (skip member access spellings `x.Rng` — none exist —
+      // and the qualified `memfp::Rng`, whose Rng token behaves the same).
+      if (i > 0 && (tok_is(tokens[i - 1], ".") || tok_is(tokens[i - 1], "->"))) {
+        continue;
+      }
+      if (i + 2 < tokens.size() && tokens[i + 1].kind == TokKind::kIdent) {
+        const std::string& after = tokens[i + 2].text;
+        if (after == ";" || after == "=" || after == "{" || after == "(" ||
+            after == "," || after == ")") {
+          node.rng_names.push_back(tokens[i + 1].text);
+        }
+      }
+    }
+  }
+  std::sort(node.unordered.begin(), node.unordered.end(),
+            [](const UnorderedDecl& a, const UnorderedDecl& b) {
+              return std::tie(a.name, a.line) < std::tie(b.name, b.line);
+            });
+  std::sort(node.rng_names.begin(), node.rng_names.end());
+  node.rng_names.erase(
+      std::unique(node.rng_names.begin(), node.rng_names.end()),
+      node.rng_names.end());
+}
+
+std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  if (path.starts_with("./")) path.erase(0, 2);
+  return path;
+}
+
+std::string dot_id(const std::string& path) {
+  std::string id;
+  for (const char c : path) {
+    id.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string module_of(std::string_view path) {
+  if (!path.starts_with("src/")) return "";
+  const std::string_view rest = path.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+ProjectGraph ProjectGraph::build(
+    std::vector<std::pair<std::string, std::string>> sources) {
+  ProjectGraph graph;
+  for (auto& [path, content] : sources) {
+    FileNode node;
+    node.path = normalize(std::move(path));
+    node.module = module_of(node.path);
+    node.header = node.path.ends_with(".h");
+    node.in_src = node.path.starts_with("src/");
+    node.in_tests = node.path.starts_with("tests/");
+    node.in_bench = node.path.starts_with("bench/");
+    node.lexed = lex(content);
+    collect_symbols(node);
+    graph.files_.push_back(std::move(node));
+  }
+  std::sort(graph.files_.begin(), graph.files_.end(),
+            [](const FileNode& a, const FileNode& b) {
+              return a.path < b.path;
+            });
+  for (std::size_t i = 0; i < graph.files_.size(); ++i) {
+    graph.index_.emplace(graph.files_[i].path, static_cast<int>(i));
+  }
+  // Quoted project includes resolve against src/ (the one include root the
+  // build exposes: `#include "ml/model.h"` anywhere means src/ml/model.h).
+  for (FileNode& node : graph.files_) {
+    node.resolved.assign(node.lexed.includes.size(), -1);
+    for (std::size_t k = 0; k < node.lexed.includes.size(); ++k) {
+      const IncludeDirective& inc = node.lexed.includes[k];
+      if (inc.angled) continue;
+      node.resolved[k] = graph.find("src/" + inc.path);
+    }
+  }
+  return graph;
+}
+
+int ProjectGraph::find(std::string_view path) const {
+  const auto it = index_.find(path);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<int> ProjectGraph::reachable(int file) const {
+  std::vector<bool> seen(files_.size(), false);
+  std::deque<int> queue;
+  queue.push_back(file);
+  seen[static_cast<std::size_t>(file)] = true;
+  std::vector<int> out;
+  while (!queue.empty()) {
+    const int at = queue.front();
+    queue.pop_front();
+    for (const int next : files_[static_cast<std::size_t>(at)].resolved) {
+      if (next < 0 || seen[static_cast<std::size_t>(next)]) continue;
+      seen[static_cast<std::size_t>(next)] = true;
+      out.push_back(next);
+      queue.push_back(next);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ProjectGraph::to_dot() const {
+  std::ostringstream out;
+  out << "// memfp-lint include DAG over src/ (quoted includes resolved\n"
+         "// against the src/ include root). Render with e.g.:\n"
+         "//   dot -Tsvg build/lint_graph.dot -o lint_graph.svg\n"
+         "digraph memfp_includes {\n"
+         "  rankdir=LR;\n"
+         "  node [shape=box, fontsize=10];\n";
+  // One cluster per module, modules in sorted order; files_ is sorted, so
+  // a linear scan per module emits nodes deterministically.
+  std::set<std::string> modules;
+  for (const FileNode& node : files_) {
+    if (node.in_src && !node.module.empty()) modules.insert(node.module);
+  }
+  for (const std::string& module : modules) {
+    out << "  subgraph cluster_" << module << " {\n"
+        << "    label=\"" << module << "\";\n";
+    for (const FileNode& node : files_) {
+      if (!node.in_src || node.module != module) continue;
+      out << "    " << dot_id(node.path) << " [label=\""
+          << node.path.substr(4) << "\"];\n";
+    }
+    out << "  }\n";
+  }
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const FileNode& node : files_) {
+    if (!node.in_src) continue;
+    for (const int to : node.resolved) {
+      if (to < 0) continue;
+      const FileNode& target = files_[static_cast<std::size_t>(to)];
+      if (!target.in_src) continue;
+      edges.emplace(dot_id(node.path), dot_id(target.path));
+    }
+  }
+  for (const auto& [from, to] : edges) {
+    out << "  " << from << " -> " << to << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace memfp::lint

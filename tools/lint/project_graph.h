@@ -1,0 +1,83 @@
+// memfp-lint v2 project graph: the cross-TU view the v1 line scanner could
+// never have.
+//
+// The graph is built from a set of (repo-relative path, content) pairs —
+// the real tree when linting a checkout, or in-memory fixtures in
+// tests/test_lint.cc — and holds, per file:
+//
+//   * the full token stream (lexer.h) with line/column positions,
+//   * the #include directives, with quoted "module/file.h" includes
+//     resolved to their FileNode when the header is in the set (the edge
+//     list IS the include DAG over src/),
+//   * a small symbol table: names declared with a std::unordered_{map,set}
+//     type (class members, locals, reference parameters — anything a
+//     range-for could iterate) and names declared with the project's Rng
+//     type. Both feed cross-file rules: range-for over an unordered member
+//     declared three headers away, an Rng value-captured into a lambda.
+//
+// Module identity comes from the path: "src/<module>/..." ⇒ module. The
+// layering rule (lint_core.cc) interprets the module edge set against the
+// sanctioned DAG; this file only discovers the edges.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace memfp::lint {
+
+/// A name that a range-for must not iterate without an ordering step.
+struct UnorderedDecl {
+  std::string name;
+  int line = 0;  ///< declaration line (for cross-file diagnostics)
+};
+
+struct FileNode {
+  std::string path;    ///< repo-relative, '/'-separated
+  std::string module;  ///< "sim" for src/sim/...; "" outside src/
+  bool header = false;
+  bool in_src = false;
+  bool in_tests = false;
+  bool in_bench = false;
+  Lexed lexed;
+  /// Parallel to lexed.includes: index of the included FileNode in
+  /// ProjectGraph::files, or -1 when the header is not in the set.
+  std::vector<int> resolved;
+  std::vector<UnorderedDecl> unordered;  ///< unordered-container decls
+  std::vector<std::string> rng_names;    ///< names declared with type Rng
+};
+
+class ProjectGraph {
+ public:
+  /// Builds the graph from repo-relative (path, content) pairs. Files are
+  /// sorted by path, so node indices and every derived order are
+  /// deterministic regardless of input order.
+  static ProjectGraph build(
+      std::vector<std::pair<std::string, std::string>> sources);
+
+  const std::vector<FileNode>& files() const { return files_; }
+
+  /// Index of `path` in files(), or -1.
+  int find(std::string_view path) const;
+
+  /// Indices of every file transitively reachable from `file` through
+  /// resolved includes (excluding `file` itself), in ascending index order.
+  std::vector<int> reachable(int file) const;
+
+  /// The include DAG over src/ in Graphviz DOT form: one cluster per
+  /// module, nodes and edges in sorted order (byte-identical across runs).
+  std::string to_dot() const;
+
+ private:
+  std::vector<FileNode> files_;
+  std::map<std::string, int, std::less<>> index_;
+};
+
+/// Extracts the module from a repo-relative path ("src/ml/gbdt.cc" ⇒ "ml",
+/// anything not under src/ ⇒ "").
+std::string module_of(std::string_view path);
+
+}  // namespace memfp::lint

@@ -26,7 +26,7 @@
 #                       DIMMs, 56-day horizon): DIMMs/sec, events/sec,
 #                       encoded bytes/event and peak RSS per point — rerun
 #                       after changes to src/sim/trace_store.* or
-#                       src/sim/fleet_driver.*. Written by bench_fleet
+#                       src/core/fleet_driver.*. Written by bench_fleet
 #                       itself; expect ~15 minutes for the full sweep.
 # Each file records the baseline, the current numbers, and the speedup.
 # The sanitizer refusal below covers every emitted file, BENCH_fleet.json
