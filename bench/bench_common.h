@@ -4,10 +4,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/string_utils.h"
 
@@ -33,6 +36,43 @@ inline double bench_scale() {
 
 inline std::string fmt(double value, int precision = 2) {
   return format_double(value, precision);
+}
+
+/// Nearest-rank percentile of a sample: the smallest element with at least
+/// p percent of the sample at or below it. `p` is clamped to [0, 100];
+/// an empty sample yields 0. Takes the sample by value (sorts a copy), so
+/// callers can keep their measurement order.
+inline double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  if (p <= 0.0) return sample.front();
+  if (p >= 100.0) return sample.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sample.size())));
+  return sample[rank - 1];
+}
+
+/// p50/p95/p99 of a latency sample in one pass over one sorted copy — the
+/// shape every bench records. Zeros when the sample is empty.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+inline LatencySummary summarize_latencies(std::vector<double> sample) {
+  LatencySummary summary;
+  if (sample.empty()) return summary;
+  std::sort(sample.begin(), sample.end());
+  const auto at = [&](double p) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sample.size())));
+    return sample[std::min(rank == 0 ? 0 : rank - 1, sample.size() - 1)];
+  };
+  summary.p50 = at(50.0);
+  summary.p95 = at(95.0);
+  summary.p99 = at(99.0);
+  return summary;
 }
 
 /// Peak resident set size of this process in bytes (VmHWM from

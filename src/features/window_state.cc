@@ -18,7 +18,15 @@ float log1pf_clamped(double value) {
 // ---- SlidingCountMap --------------------------------------------------------
 
 void SlidingCountMap::increment(std::uint64_t key) {
-  int& count = counts_[key];
+  int* entry = cached_entry_;
+  if (entry == nullptr || key != cached_key_ ||
+      cached_generation_ != counts_.generation()) {
+    entry = &counts_[key];
+    cached_key_ = key;
+    cached_entry_ = entry;
+    cached_generation_ = counts_.generation();
+  }
+  int& count = *entry;
   if (count > 0) --freq_[static_cast<std::size_t>(count)];
   ++count;
   if (static_cast<std::size_t>(count) >= freq_.size()) {
@@ -29,14 +37,14 @@ void SlidingCountMap::increment(std::uint64_t key) {
 }
 
 void SlidingCountMap::decrement(std::uint64_t key) {
-  const auto it = counts_.find(key);
-  MEMFP_CHECK(it != counts_.end()) << "decrement of absent key";
-  const int count = it->second;
+  int* entry = counts_.find(key);
+  MEMFP_CHECK(entry != nullptr) << "decrement of absent key";
+  const int count = *entry;
   --freq_[static_cast<std::size_t>(count)];
   if (count == 1) {
-    counts_.erase(it);
+    counts_.erase(key);
   } else {
-    it->second = count - 1;
+    *entry = count - 1;
     ++freq_[static_cast<std::size_t>(count - 1)];
   }
   // A single decrement lowers the maximum multiplicity by at most one.
@@ -72,7 +80,7 @@ WindowPatternState::WindowPatternState(const dram::Geometry& geometry)
       dq_occupancy_(static_cast<std::size_t>(geometry.total_dq()), 0),
       beat_occupancy_(static_cast<std::size_t>(geometry.beats), 0) {}
 
-void WindowPatternState::add(const std::vector<dram::ErrorBit>& bits) {
+void WindowPatternState::add(std::span<const dram::ErrorBit> bits) {
   for (const dram::ErrorBit& bit : bits) {
     const std::size_t dq = bit.dq;
     const std::size_t beat = bit.beat;
@@ -85,7 +93,7 @@ void WindowPatternState::add(const std::vector<dram::ErrorBit>& bits) {
   }
 }
 
-void WindowPatternState::remove(const std::vector<dram::ErrorBit>& bits) {
+void WindowPatternState::remove(std::span<const dram::ErrorBit> bits) {
   for (const dram::ErrorBit& bit : bits) {
     const std::size_t dq = bit.dq;
     const std::size_t beat = bit.beat;
@@ -160,44 +168,66 @@ AxisStats LifetimePatternState::beat_stats() const {
 
 LifetimeState::LifetimeState(const FaultThresholds& thresholds,
                              const dram::Geometry& geometry)
-    : thresholds_(thresholds), pattern_(geometry) {}
+    : thresholds_(thresholds), pattern_(geometry) {
+  MEMFP_CHECK(thresholds.row_columns <= BoundedDistinct::kMaxCap &&
+              thresholds.column_rows <= BoundedDistinct::kMaxCap &&
+              thresholds.bank_rows <= BoundedDistinct::kMaxCap &&
+              thresholds.bank_columns <= BoundedDistinct::kMaxCap)
+      << "fault threshold above BoundedDistinct::kMaxCap";
+}
 
 void LifetimeState::add(const dram::CeEvent& ce) {
   const dram::CellCoord& c = ce.coord;
   const std::uint64_t cell = pack_cell(c);
-  if (++cell_counts_[cell] == thresholds_.cell_repeat) ++cell_faults_;
+  const bool cached =
+      cell == cached_cell_ && cached_gens_[0] == cell_counts_.generation() &&
+      cached_gens_[1] == row_columns_.generation() &&
+      cached_gens_[2] == column_rows_.generation() &&
+      cached_gens_[3] == banks_.generation() &&
+      cached_gens_[4] == device_counts_.generation();
+  if (!cached) {
+    cached_cell_count_ = &cell_counts_[cell];
+    cached_row_cols_ = &row_columns_[cell >> 16];
+    cached_col_rows_ =
+        &column_rows_[(cell & 0xffffff000000ffffULL) | 0xff0000ULL];
+    cached_bank_ = &banks_[cell >> 40];
+    cached_device_count_ = &device_counts_[static_cast<std::uint64_t>(
+        (c.rank << 8) | c.device)];
+    cached_cell_ = cell;
+    cached_gens_[0] = cell_counts_.generation();
+    cached_gens_[1] = row_columns_.generation();
+    cached_gens_[2] = column_rows_.generation();
+    cached_gens_[3] = banks_.generation();
+    cached_gens_[4] = device_counts_.generation();
+  }
 
-  const std::uint64_t row = cell >> 16;
-  auto& row_cols = row_columns_[row];
-  if (row_cols.insert(c.column).second &&
-      static_cast<int>(row_cols.size()) == thresholds_.row_columns) {
+  if (++*cached_cell_count_ == thresholds_.cell_repeat) ++cell_faults_;
+
+  BoundedDistinct& row_cols = *cached_row_cols_;
+  if (row_cols.insert(c.column, thresholds_.row_columns) &&
+      row_cols.size() == thresholds_.row_columns) {
     ++row_faults_;
   }
 
-  const std::uint64_t col =
-      (cell & 0xffffff000000ffffULL) | 0xff0000ULL;  // row wildcarded
-  auto& col_rows = column_rows_[col];
-  if (col_rows.insert(c.row).second &&
-      static_cast<int>(col_rows.size()) == thresholds_.column_rows) {
+  BoundedDistinct& col_rows = *cached_col_rows_;
+  if (col_rows.insert(c.row, thresholds_.column_rows) &&
+      col_rows.size() == thresholds_.column_rows) {
     ++column_faults_;
   }
 
-  const std::uint64_t bank = cell >> 40;
-  auto& bank_state = banks_[bank];
-  bank_state.rows.insert(c.row);
-  bank_state.columns.insert(c.column);
+  BankState& bank_state = *cached_bank_;
+  bank_state.rows.insert(c.row, thresholds_.bank_rows);
+  bank_state.columns.insert(c.column, thresholds_.bank_columns);
   if (!bank_state.counted &&
-      static_cast<int>(bank_state.rows.size()) >= thresholds_.bank_rows &&
-      static_cast<int>(bank_state.columns.size()) >= thresholds_.bank_columns) {
+      bank_state.rows.size() >= thresholds_.bank_rows &&
+      bank_state.columns.size() >= thresholds_.bank_columns) {
     bank_state.counted = true;
     ++bank_faults_;
   }
 
-  const int device = (c.rank << 8) | c.device;
-  if (++device_counts_[device] == thresholds_.device_min_ces) {
+  if (++*cached_device_count_ == thresholds_.device_min_ces) {
     ++faulty_devices_;
   }
-  devices_seen_.insert(device);
 
   pattern_.add(ce.pattern);
   if (first_ce_ < 0) first_ce_ = ce.time;
@@ -215,6 +245,24 @@ WindowState::WindowState(const PredictionWindows& windows,
       dq_count_freq_(static_cast<std::size_t>(geometry.total_dq()) + 1, 0),
       beat_count_freq_(static_cast<std::size_t>(geometry.beats) + 1, 0) {}
 
+void WindowState::push_record(CeRecord&& rec) {
+  if (count_ == records_.size()) {
+    const std::size_t cap = records_.empty() ? 8 : records_.size() * 2;
+    std::vector<CeRecord> grown(cap);
+    for (std::size_t i = 0; i < count_; ++i) grown[i] = std::move(rec_at(i));
+    records_ = std::move(grown);
+    head_ = 0;
+    rmask_ = cap - 1;
+  }
+  records_[(head_ + count_) & rmask_] = std::move(rec);
+  ++count_;
+}
+
+void WindowState::pop_front_record() {
+  head_ = (head_ + 1) & rmask_;
+  --count_;
+}
+
 void WindowState::add(const dram::CeEvent& ce) {
   CeRecord rec;
   rec.time = ce.time;
@@ -225,13 +273,14 @@ void WindowState::add(const dram::CeEvent& ce) {
   rec.beat_count = ce.pattern.beat_count();
   rec.multibit = ce.pattern.bit_count() > 1;
   rec.cross_device = ce.pattern.device_count(geometry_) > 1;
-  rec.bits = ce.pattern.bits();
+  rec.bits.assign(ce.pattern.bits());
 
   // Appending extends the interarrival fold with exactly the operation the
   // rescanning extractor performs next, so a clean fold stays bit-exact.
-  if (!records_.empty()) {
-    MEMFP_CHECK_GE(rec.time, records_.back().time) << "CEs must be time-ordered";
-    const double gap_h = static_cast<double>(rec.time - records_.back().time) /
+  if (count_ > 0) {
+    const SimTime prev_time = rec_at(count_ - 1).time;
+    MEMFP_CHECK_GE(rec.time, prev_time) << "CEs must be time-ordered";
+    const double gap_h = static_cast<double>(rec.time - prev_time) /
                          static_cast<double>(kHour);
     inter_sum_ += gap_h;
     inter_sq_ += gap_h * gap_h;
@@ -243,9 +292,8 @@ void WindowState::add(const dram::CeEvent& ce) {
   columns_.increment(rec.cell & 0xffffff000000ffffULL);
   banks_.increment(rec.cell >> 40);
   devices_.increment(static_cast<std::uint64_t>(rec.device));
-  row_ces_.increment(rec.cell >> 16);
   days_.increment(static_cast<std::uint64_t>(rec.day));
-  pattern_.add(rec.bits);
+  pattern_.add(rec.bits.view());
   ++dq_count_freq_[static_cast<std::size_t>(rec.dq_count)];
   ++beat_count_freq_[static_cast<std::size_t>(rec.beat_count)];
   max_dq_ub_ = std::max(max_dq_ub_, rec.dq_count);
@@ -253,7 +301,7 @@ void WindowState::add(const dram::CeEvent& ce) {
   multibit_ += rec.multibit;
   cross_device_ += rec.cross_device;
 
-  records_.push_back(std::move(rec));
+  push_record(std::move(rec));
   ++next_seq_;
 }
 
@@ -269,21 +317,20 @@ void WindowState::add_event(const dram::MemEvent& event) {
 
 void WindowState::advance(SimTime t) {
   const SimTime window_start = t - windows_.observation;
-  while (!records_.empty() && records_.front().time <= window_start) {
-    const CeRecord& rec = records_.front();
+  while (count_ > 0 && rec_at(0).time <= window_start) {
+    const CeRecord& rec = rec_at(0);
     cells_.decrement(rec.cell);
     rows_.decrement(rec.cell >> 16);
     columns_.decrement(rec.cell & 0xffffff000000ffffULL);
     banks_.decrement(rec.cell >> 40);
     devices_.decrement(static_cast<std::uint64_t>(rec.device));
-    row_ces_.decrement(rec.cell >> 16);
     days_.decrement(static_cast<std::uint64_t>(rec.day));
-    pattern_.remove(rec.bits);
+    pattern_.remove(rec.bits.view());
     --dq_count_freq_[static_cast<std::size_t>(rec.dq_count)];
     --beat_count_freq_[static_cast<std::size_t>(rec.beat_count)];
     multibit_ -= rec.multibit;
     cross_device_ -= rec.cross_device;
-    records_.pop_front();
+    pop_front_record();
     ++front_seq_;
     inter_dirty_ = true;  // the leading gap left the window
   }
@@ -300,7 +347,7 @@ void WindowState::advance(SimTime t) {
     std::uint64_t seq = std::max(sub_seq_[sub], front_seq_);
     const SimTime cutoff = t - kSubWindows[sub];
     while (seq < next_seq_ &&
-           records_[static_cast<std::size_t>(seq - front_seq_)].time < cutoff) {
+           rec_at(static_cast<std::size_t>(seq - front_seq_)).time < cutoff) {
       ++seq;
     }
     sub_seq_[sub] = seq;
@@ -316,15 +363,18 @@ void WindowState::refold_interarrival() {
   inter_sq_ = 0.0;
   inter_min_ = 1e18;
   SimTime prev = -1;
-  for (const CeRecord& rec : records_) {
+  std::size_t idx = head_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const SimTime time = records_[idx].time;
+    idx = (idx + 1) & rmask_;
     if (prev >= 0) {
       const double gap_h =
-          static_cast<double>(rec.time - prev) / static_cast<double>(kHour);
+          static_cast<double>(time - prev) / static_cast<double>(kHour);
       inter_sum_ += gap_h;
       inter_sq_ += gap_h * gap_h;
       inter_min_ = std::min(inter_min_, gap_h);
     }
-    prev = rec.time;
+    prev = time;
   }
   inter_dirty_ = false;
 }
@@ -365,6 +415,22 @@ void OnlineExtractorState::observe_ce(const dram::CeEvent& ce) {
 
 void OnlineExtractorState::observe_event(const dram::MemEvent& event) {
   pending_events_.push_back(event);
+}
+
+void OnlineExtractorState::ingest_ce_at(SimTime t, const dram::CeEvent& ce) {
+  MEMFP_DCHECK(pending_ces_.empty()) << "ingest_ce_at with queued observes";
+  MEMFP_DCHECK(ce.time <= t) << "ingest_ce_at of a future CE";
+  // Identical fold to the t-time drain in features_at: CEs already outside
+  // the observation window update only the lifetime state.
+  lifetime_.add(ce);
+  if (ce.time > t - windows_.observation) window_.add(ce);
+}
+
+void OnlineExtractorState::ingest_event_at(SimTime t,
+                                           const dram::MemEvent& event) {
+  MEMFP_DCHECK(pending_events_.empty()) << "ingest_event_at with queued observes";
+  MEMFP_DCHECK(event.time <= t) << "ingest_event_at of a future event";
+  if (event.time > t - windows_.observation) window_.add_event(event);
 }
 
 void OnlineExtractorState::features_at(SimTime t, std::vector<float>& out) {

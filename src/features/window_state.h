@@ -22,18 +22,26 @@
 //    until an eviction invalidates it; the next emit then refolds the gaps
 //    of the surviving window once.
 //
+// The containers behind those aggregates are sized for the serving hot path
+// (one probe per CE across millions of streams): open-addressing FlatMap64
+// instead of node-based unordered containers, a power-of-two ring instead of
+// a deque for the window records, inline small-buffer storage for per-CE
+// error bits, and capped distinct-sets for the lifetime fault thresholds
+// (exact because a threshold comparison goes dead once its set saturates).
+//
 // OnlineExtractorState composes these with the lifetime fault state into the
 // streaming serving engine: a per-DIMM object that consumes appended CE /
 // memory events and answers features_at(t) for non-decreasing t with no
 // trace copy and no extractor reconstruction.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/time.h"
 #include "dram/events.h"
 #include "dram/geometry.h"
@@ -65,9 +73,43 @@ class SlidingCountMap {
   int max_count() const { return max_; }
 
  private:
-  std::unordered_map<std::uint64_t, int> counts_;
+  FlatMap64<int> counts_;
   std::vector<std::int64_t> freq_;  // freq_[c] = #keys with multiplicity c
   int max_ = 0;
+  // Last-key increment cache: storm bursts hammer one cell, so consecutive
+  // increments usually hit the same entry. The raw pointer is revalidated
+  // against the map generation (growth / erase moves slots).
+  std::uint64_t cached_key_ = 0;
+  int* cached_entry_ = nullptr;
+  std::uint64_t cached_generation_ = 0;
+};
+
+/// Exact distinct-value counter up to a per-threshold cap, saturating after.
+/// The lifetime fault rules only compare a set's cardinality against a fixed
+/// threshold, and every such comparison is dead once the cardinality reaches
+/// it — so values beyond the cap need not be remembered for the counts to
+/// stay exact. kMaxCap bounds the supported thresholds (checked at
+/// LifetimeState construction).
+class BoundedDistinct {
+ public:
+  static constexpr int kMaxCap = 8;
+
+  /// Records `value` if unseen and below `cap`; returns whether it was newly
+  /// recorded. Once saturated at `cap` every insert reports false — exactly
+  /// when the threshold conditions reading it can no longer change.
+  bool insert(int value, int cap) {
+    if (n_ >= cap) return false;
+    for (int i = 0; i < n_; ++i) {
+      if (seen_[static_cast<std::size_t>(i)] == value) return false;
+    }
+    seen_[static_cast<std::size_t>(n_++)] = value;
+    return true;
+  }
+  int size() const { return n_; }
+
+ private:
+  std::int32_t n_ = 0;
+  std::array<std::int32_t, kMaxCap> seen_{};
 };
 
 /// Distinct count / interval statistics of one pattern axis (DQ lanes or
@@ -81,14 +123,39 @@ struct AxisStats {
 
 AxisStats axis_stats(const std::vector<int>& occupancy);
 
+/// Per-CE error-bit payload with inline storage for the common small
+/// patterns; only pathological multi-bit patterns touch the heap.
+class SmallBits {
+ public:
+  void assign(std::span<const dram::ErrorBit> bits) {
+    count_ = static_cast<std::uint32_t>(bits.size());
+    if (bits.size() <= kInline) {
+      for (std::size_t i = 0; i < bits.size(); ++i) inline_[i] = bits[i];
+      overflow_.clear();
+    } else {
+      overflow_.assign(bits.begin(), bits.end());
+    }
+  }
+  std::span<const dram::ErrorBit> view() const {
+    if (count_ <= kInline) return {inline_.data(), count_};
+    return {overflow_.data(), overflow_.size()};
+  }
+
+ private:
+  static constexpr std::size_t kInline = 12;
+  std::uint32_t count_ = 0;
+  std::array<dram::ErrorBit, kInline> inline_{};
+  std::vector<dram::ErrorBit> overflow_;
+};
+
 /// Union of the error-bit patterns currently inside the window, maintained
 /// as per-(DQ, beat) multiplicities so evictions are exact.
 class WindowPatternState {
  public:
   explicit WindowPatternState(const dram::Geometry& geometry);
 
-  void add(const std::vector<dram::ErrorBit>& bits);
-  void remove(const std::vector<dram::ErrorBit>& bits);
+  void add(std::span<const dram::ErrorBit> bits);
+  void remove(std::span<const dram::ErrorBit> bits);
 
   AxisStats dq_stats() const { return axis_stats(dq_occupancy_); }
   AxisStats beat_stats() const { return axis_stats(beat_occupancy_); }
@@ -146,7 +213,9 @@ class LifetimeState {
   int column_faults() const { return column_faults_; }
   int bank_faults() const { return bank_faults_; }
   int faulty_devices() const { return faulty_devices_; }
-  int devices_seen() const { return static_cast<int>(devices_seen_.size()); }
+  /// Every seen device has a count entry (counts are incremented on first
+  /// sight), so the count map doubles as the seen-device set.
+  int devices_seen() const { return static_cast<int>(device_counts_.size()); }
   const LifetimePatternState& pattern() const { return pattern_; }
   SimTime first_ce() const { return first_ce_; }
   SimTime last_ce() const { return last_ce_; }
@@ -154,8 +223,8 @@ class LifetimeState {
 
  private:
   struct BankState {
-    std::unordered_set<int> rows;
-    std::unordered_set<int> columns;
+    BoundedDistinct rows;
+    BoundedDistinct columns;
     bool counted = false;
   };
 
@@ -165,12 +234,22 @@ class LifetimeState {
   int column_faults_ = 0;
   int bank_faults_ = 0;
   int faulty_devices_ = 0;
-  std::unordered_map<std::uint64_t, int> cell_counts_;
-  std::unordered_map<std::uint64_t, std::unordered_set<int>> row_columns_;
-  std::unordered_map<std::uint64_t, std::unordered_set<int>> column_rows_;
-  std::unordered_map<std::uint64_t, BankState> banks_;
-  std::unordered_map<int, int> device_counts_;
-  std::unordered_set<int> devices_seen_;
+  FlatMap64<int> cell_counts_;
+  FlatMap64<BoundedDistinct> row_columns_;
+  FlatMap64<BoundedDistinct> column_rows_;
+  FlatMap64<BankState> banks_;
+  FlatMap64<int> device_counts_;
+  // Last-cell probe cache: a repeated cell reuses the entries of all five
+  // maps (row/column/bank/device keys are prefixes of the cell key), which
+  // turns storm bursts into pointer chases. Revalidated against the map
+  // generations (these maps only grow, so a generation moves on rehash).
+  std::uint64_t cached_cell_ = ~0ULL;
+  int* cached_cell_count_ = nullptr;
+  BoundedDistinct* cached_row_cols_ = nullptr;
+  BoundedDistinct* cached_col_rows_ = nullptr;
+  BankState* cached_bank_ = nullptr;
+  int* cached_device_count_ = nullptr;
+  std::uint64_t cached_gens_[5] = {0, 0, 0, 0, 0};
   LifetimePatternState pattern_;
   SimTime first_ce_ = -1;
   SimTime last_ce_ = -1;
@@ -194,7 +273,7 @@ class WindowState {
   /// t - observation and advances the sub-window count boundaries.
   void advance(SimTime t);
 
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const { return count_; }
   std::uint64_t count_1h() const { return counts_since(0); }
   std::uint64_t count_6h() const { return counts_since(1); }
   std::uint64_t count_1d() const { return counts_since(2); }
@@ -216,7 +295,9 @@ class WindowState {
   std::size_t distinct_banks() const { return banks_.distinct(); }
   std::size_t distinct_devices() const { return devices_.distinct(); }
   int dominant_device_ces() const { return devices_.max_count(); }
-  int max_row_ces() const { return row_ces_.max_count(); }
+  /// rows_ is keyed by the same cell >> 16 prefix the per-row CE multiset
+  /// would use, so its max multiplicity is the max-CEs-in-one-row aggregate.
+  int max_row_ces() const { return rows_.max_count(); }
 
   const WindowPatternState& pattern() const { return pattern_; }
   int max_ce_dq_count();
@@ -236,7 +317,7 @@ class WindowState {
     int beat_count = 0;
     bool multibit = false;
     bool cross_device = false;
-    std::vector<dram::ErrorBit> bits;
+    SmallBits bits;
   };
 
   std::uint64_t counts_since(int sub) const {
@@ -244,10 +325,19 @@ class WindowState {
   }
   void refold_interarrival();
 
+  // records_ is a power-of-two ring: element i of the window (0 = oldest)
+  // lives at records_[(head_ + i) & rmask_].
+  CeRecord& rec_at(std::size_t i) { return records_[(head_ + i) & rmask_]; }
+  void push_record(CeRecord&& rec);
+  void pop_front_record();
+
   PredictionWindows windows_;
   dram::Geometry geometry_;
-  std::deque<CeRecord> records_;
-  std::uint64_t front_seq_ = 0;  // sequence number of records_.front()
+  std::vector<CeRecord> records_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t rmask_ = 0;
+  std::uint64_t front_seq_ = 0;  // sequence number of the oldest record
   std::uint64_t next_seq_ = 0;   // sequence number of the next add
   // First CE inside each trailing sub-window (1h / 6h / 1d / 3d).
   std::uint64_t sub_seq_[4] = {0, 0, 0, 0};
@@ -262,11 +352,10 @@ class WindowState {
   bool inter_dirty_ = false;
 
   SlidingCountMap cells_;
-  SlidingCountMap rows_;
+  SlidingCountMap rows_;  // doubles as the per-row CE multiset (max_row_ces)
   SlidingCountMap columns_;
   SlidingCountMap banks_;
   SlidingCountMap devices_;
-  SlidingCountMap row_ces_;
   SlidingCountMap days_;
 
   WindowPatternState pattern_;
@@ -293,6 +382,22 @@ class OnlineExtractorState {
 
   void observe_ce(const dram::CeEvent& ce);
   void observe_event(const dram::MemEvent& event);
+
+  /// Fast-path ingestion for tick-driven callers (the serving engine) that
+  /// already know the next query time t: folds the event immediately, with
+  /// the same fold the t-time drain of the pending queue would apply. The
+  /// caller must guarantee event.time <= t, t not below any earlier query,
+  /// and empty pending queues (don't mix with observe_* mid-stream).
+  void ingest_ce_at(SimTime t, const dram::CeEvent& ce);
+  void ingest_event_at(SimTime t, const dram::MemEvent& event);
+
+  /// Cheap liveness probe: a stream with an empty window and no pending
+  /// telemetry is guaranteed to score empty at any later tick, so tick
+  /// drivers can skip it without touching the cold state.
+  std::size_t window_ces() const { return window_.size(); }
+  bool has_pending() const {
+    return !pending_ces_.empty() || !pending_events_.empty();
+  }
 
   /// Features at time t, or an empty vector when the observation window
   /// holds no CE (or t <= 0 — no cadence tick has happened). t must be

@@ -32,6 +32,14 @@ class Matrix {
   }
   void push_row(std::span<const float> values);
 
+  /// Drops all rows but keeps the column count and the data capacity, so a
+  /// caller filling batches in a loop (the serving engine) reuses the
+  /// allocation instead of reconstructing the matrix per block.
+  void clear_rows() {
+    rows_ = 0;
+    data_.clear();
+  }
+
   /// Gathers column `c` into `out` (resized to rows()). The row-major
   /// stride is paid once per feature here instead of once per element in
   /// the feature-binning loops.

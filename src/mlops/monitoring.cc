@@ -56,6 +56,11 @@ std::string Monitoring::dashboard() const {
                  format_double(online_recall(), 3)});
   table.add_row({"score PSI vs reference", format_double(score_psi(), 3)});
   table.add_row({"drift alert", drift_detected() ? "YES" : "no"});
+  table.add_row({"scores shed (admission)", std::to_string(shed_scores_)});
+  table.add_row({"DIMMs degraded (admission)",
+                 std::to_string(degraded_dimms_)});
+  table.add_row({"shard overload ticks", std::to_string(overload_ticks_)});
+  table.add_row({"queue backpressure stalls", std::to_string(queue_stalls_)});
   return table.render();
 }
 

@@ -20,10 +20,26 @@ class Monitoring {
   void record_alarm_feedback(bool was_true_positive);
   /// A UE that arrived with no alarm (missed failure).
   void record_missed_failure() { ++missed_failures_; }
+  /// Admission-control outcome of a serving run (ServingEngine): scoring
+  /// ticks shed, DIMMs degraded to coarse cadence, shard overload ticks and
+  /// queue backpressure stalls. Accumulates across runs.
+  void record_load_shedding(std::size_t shed_scores,
+                            std::size_t degraded_dimms,
+                            std::size_t overload_ticks,
+                            std::size_t queue_stalls) {
+    shed_scores_ += shed_scores;
+    degraded_dimms_ += degraded_dimms;
+    overload_ticks_ += overload_ticks;
+    queue_stalls_ += queue_stalls;
+  }
 
   std::size_t ingested() const { return ingested_; }
   std::size_t predictions() const { return predictions_; }
   std::size_t alarms() const { return alarms_; }
+  std::size_t shed_scores() const { return shed_scores_; }
+  std::size_t degraded_dimms() const { return degraded_dimms_; }
+  std::size_t overload_ticks() const { return overload_ticks_; }
+  std::size_t queue_stalls() const { return queue_stalls_; }
 
   /// Online precision/recall from the feedback stream (0 when no data).
   double online_precision() const;
@@ -48,6 +64,10 @@ class Monitoring {
   std::size_t feedback_tp_ = 0;
   std::size_t feedback_fp_ = 0;
   std::size_t missed_failures_ = 0;
+  std::size_t shed_scores_ = 0;
+  std::size_t degraded_dimms_ = 0;
+  std::size_t overload_ticks_ = 0;
+  std::size_t queue_stalls_ = 0;
   std::vector<double> reference_scores_;
   std::vector<double> current_scores_;
 };

@@ -7,7 +7,8 @@ namespace memfp::mlops {
 
 OnlinePredictionService::OnlinePredictionService(
     const ModelRegistry& registry, dram::Platform platform,
-    const FeatureStore& store, AlarmSystem& alarms, Monitoring& monitoring)
+    const FeatureStore& store, AlarmSystem& alarms, Monitoring& monitoring,
+    ServingConfig serving)
     : store_(&store),
       alarms_(&alarms),
       monitoring_(&monitoring),
@@ -21,56 +22,28 @@ OnlinePredictionService::OnlinePredictionService(
   try {
     model_ = ml::model_from_json(production->artifact);
     threshold_ = production->threshold;
+    engine_ = std::make_unique<ServingEngine>(*model_, threshold_, store,
+                                              alarms, monitoring,
+                                              std::move(serving));
   } catch (const std::exception& e) {
     MEMFP_ERROR << "online service: cannot load artifact v"
                 << production->version << ": " << e.what();
   }
 }
 
-double OnlinePredictionService::score_features(
-    dram::DimmId dimm, SimTime t, const std::vector<float>& features) {
-  if (features.empty()) return 0.0;
+std::optional<double> OnlinePredictionService::score_dimm(
+    const sim::DimmTrace& dimm, SimTime t) {
+  if (!engine_) return std::nullopt;
   // Registry models are tree ensembles (model_from_json), so this single-row
   // score runs on the lazily compiled FlatEnsemble built at first tick.
-  const double score = model_->predict(features);
-  monitoring_->record_prediction(score);
-  if (score >= threshold_) {
-    alarms_->raise(dimm, t, score);
-    monitoring_->record_alarm();
-  }
-  return score;
+  return engine_->score_row(dimm.id, t, store_->serve(dimm, t));
 }
 
-double OnlinePredictionService::score_dimm(const sim::DimmTrace& dimm,
-                                           SimTime t) {
-  if (!model_) return 0.0;
-  return score_features(dimm.id, t, store_->serve(dimm, t));
-}
-
-void OnlinePredictionService::run_over(const sim::FleetTrace& fleet,
-                                       SimTime start, SimTime end,
-                                       SimDuration cadence) {
-  if (!model_) return;
-  std::vector<float> features;
-  for (const sim::DimmTrace& dimm : fleet.dimms) {
-    if (dimm.ces.empty()) continue;
-    features::OnlineExtractorState stream = store_->open_stream(dimm);
-    std::size_t next_ce = 0;
-    std::size_t next_event = 0;
-    for (SimTime t = start; t <= end; t += cadence) {
-      if (dimm.ue && t >= dimm.ue->time) break;  // the DIMM already failed
-      while (next_ce < dimm.ces.size() && dimm.ces[next_ce].time <= t) {
-        stream.observe_ce(dimm.ces[next_ce++]);
-      }
-      while (next_event < dimm.events.size() &&
-             dimm.events[next_event].time <= t) {
-        stream.observe_event(dimm.events[next_event++]);
-      }
-      stream.features_at(t, features);
-      score_features(dimm.id, t, features);
-      if (alarms_->first_alarm(dimm.id)) break;  // mitigation in flight
-    }
-  }
+ServingStats OnlinePredictionService::run_over(const sim::FleetTrace& fleet,
+                                               SimTime start, SimTime end,
+                                               SimDuration cadence) {
+  if (!engine_) return {};
+  return engine_->run_over(fleet, start, end, cadence);
 }
 
 void OnlinePredictionService::apply_feedback(const sim::FleetTrace& fleet) {

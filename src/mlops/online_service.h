@@ -1,15 +1,20 @@
 // Online Prediction stage (paper Fig 6): serves the production model from
 // the registry against streaming telemetry, raising alarms into the cloud
-// alarm system and reporting every score to monitoring.
+// alarm system and reporting every score to monitoring. Fleet sweeps are
+// delegated to the sharded/batched ServingEngine (mlops/serving.h) with
+// admission control off, so the service keeps its historical byte-exact
+// serial semantics while running shard-parallel.
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "ml/model.h"
 #include "mlops/alarm.h"
 #include "mlops/feature_store.h"
 #include "mlops/model_registry.h"
 #include "mlops/monitoring.h"
+#include "mlops/serving.h"
 
 namespace memfp::mlops {
 
@@ -19,40 +24,36 @@ class OnlinePredictionService {
   /// the registry has none (or its artifact cannot be deserialized).
   OnlinePredictionService(const ModelRegistry& registry,
                           dram::Platform platform, const FeatureStore& store,
-                          AlarmSystem& alarms, Monitoring& monitoring);
+                          AlarmSystem& alarms, Monitoring& monitoring,
+                          ServingConfig serving = {});
 
-  bool ready() const { return model_ != nullptr; }
+  bool ready() const { return engine_ != nullptr; }
   double threshold() const { return threshold_; }
 
   /// One streaming prediction tick for one DIMM: extract point-in-time
-  /// features, score, alarm on threshold crossing. Returns the score
-  /// (0 when the observation window is empty).
-  double score_dimm(const sim::DimmTrace& dimm, SimTime t);
+  /// features, score, alarm on threshold crossing. Returns the score, or
+  /// nullopt when there is nothing to score (service not ready, or the
+  /// observation window is empty) — distinct from a genuine 0.0 score.
+  std::optional<double> score_dimm(const sim::DimmTrace& dimm, SimTime t);
 
   /// Streams a whole fleet at the given cadence over [start, end]; DIMMs
-  /// stop being scored once they alarm or fail. Holds one persistent
-  /// streaming extraction state per DIMM (FeatureStore::open_stream), so a
-  /// sweep costs O(events + ticks) per DIMM instead of replaying the trace
-  /// prefix at every tick.
-  void run_over(const sim::FleetTrace& fleet, SimTime start, SimTime end,
-                SimDuration cadence);
+  /// stop being scored once they alarm or fail. Runs on the ServingEngine:
+  /// persistent per-DIMM extraction streams sharded across the thread pool
+  /// with batched cross-DIMM inference, byte-identical to the serial loop.
+  ServingStats run_over(const sim::FleetTrace& fleet, SimTime start,
+                        SimTime end, SimDuration cadence);
 
   /// Joins alarms with the ground truth that later materialized and feeds
   /// precision/recall feedback to monitoring (the paper's feedback loop).
   void apply_feedback(const sim::FleetTrace& fleet);
 
  private:
-  /// Scores an already-extracted feature vector: predict, report to
-  /// monitoring, alarm on threshold crossing. Shared by the one-shot and
-  /// streaming paths.
-  double score_features(dram::DimmId dimm, SimTime t,
-                        const std::vector<float>& features);
-
   const FeatureStore* store_;
   AlarmSystem* alarms_;
   Monitoring* monitoring_;
   features::PredictionWindows windows_;
   std::unique_ptr<ml::BinaryClassifier> model_;
+  std::unique_ptr<ServingEngine> engine_;
   double threshold_ = 0.5;
 };
 

@@ -1,0 +1,52 @@
+// Unit tests for the shared bench helpers (bench/bench_common.h) — in
+// particular the nearest-rank percentile that every trajectory file's
+// p50/p95/p99 columns are computed with. A wrong rank here would silently
+// skew every recorded latency number.
+#include "bench_common.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace memfp::bench {
+namespace {
+
+TEST(BenchPercentile, NearestRankOnKnownSample) {
+  // Classic nearest-rank worked example: 10 values 1..10.
+  std::vector<double> sample;
+  for (int i = 10; i >= 1; --i) sample.push_back(i);  // unsorted on purpose
+  EXPECT_EQ(percentile(sample, 50.0), 5.0);   // ceil(0.50*10)=5th -> 5
+  EXPECT_EQ(percentile(sample, 95.0), 10.0);  // ceil(0.95*10)=10th -> 10
+  EXPECT_EQ(percentile(sample, 90.0), 9.0);
+  EXPECT_EQ(percentile(sample, 1.0), 1.0);    // ceil(0.01*10)=1st -> 1
+}
+
+TEST(BenchPercentile, ClampsAndEdgeCases) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);           // empty -> 0, not a crash
+  EXPECT_EQ(percentile({42.0}, 0.0), 42.0);       // single element, p floor
+  EXPECT_EQ(percentile({42.0}, 100.0), 42.0);     // single element, p ceil
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, -5.0), 1.0);   // p clamped to min
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 200.0), 3.0);  // p clamped to max
+}
+
+TEST(BenchPercentile, DuplicatesAndPlateaus) {
+  const std::vector<double> sample = {1.0, 1.0, 1.0, 1.0, 100.0};
+  EXPECT_EQ(percentile(sample, 50.0), 1.0);
+  EXPECT_EQ(percentile(sample, 80.0), 1.0);   // ceil(0.8*5)=4th -> 1
+  EXPECT_EQ(percentile(sample, 81.0), 100.0); // ceil(0.81*5)=5th -> 100
+}
+
+TEST(BenchPercentile, SummaryMatchesPointQueries) {
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(i * 0.5);
+  const LatencySummary summary = summarize_latencies(sample);
+  EXPECT_EQ(summary.p50, percentile(sample, 50.0));
+  EXPECT_EQ(summary.p95, percentile(sample, 95.0));
+  EXPECT_EQ(summary.p99, percentile(sample, 99.0));
+  const LatencySummary empty = summarize_latencies({});
+  EXPECT_EQ(empty.p50, 0.0);
+  EXPECT_EQ(empty.p99, 0.0);
+}
+
+}  // namespace
+}  // namespace memfp::bench

@@ -466,6 +466,19 @@ TEST(LintLayering, FiresOnUpwardInclude) {
             std::string::npos);
 }
 
+TEST(LintLayering, FiresOnServingShapedUpwardInclude) {
+  // The serving engine lives in mlops (layer 4). A lower layer reaching up
+  // for it — say ml grabbing the engine to score "in place" — is exactly
+  // the inversion the DAG exists to block: ml is what serving serves.
+  const auto violations =
+      lint_source("src/ml/x.cc", "#include \"mlops/serving.h\"\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "layering");
+  EXPECT_NE(violations[0].message.find("climbs the module DAG"),
+            std::string::npos);
+  EXPECT_NE(violations[0].message.find("mlops"), std::string::npos);
+}
+
 TEST(LintLayering, FiresOnUnsanctionedSiblingInclude) {
   const auto rules = rules_found("src/sim/x.cc",
                                  "#include \"features/extractor.h\"\n");

@@ -108,8 +108,9 @@ TEST_F(LifecycleTest, ServiceWithoutProductionModelIsNotReady) {
   OnlinePredictionService service(registry, dram::Platform::kK920, store,
                                   alarms, monitoring);
   EXPECT_FALSE(service.ready());
-  // Scoring is a no-op rather than a crash.
-  EXPECT_EQ(service.score_dimm(fleet_->dimms.front(), days(10)), 0.0);
+  // Scoring is a no-op rather than a crash, and "nothing to score" is
+  // distinguishable from a genuine 0.0 score.
+  EXPECT_EQ(service.score_dimm(fleet_->dimms.front(), days(10)), std::nullopt);
 }
 
 }  // namespace

@@ -1,0 +1,387 @@
+// Determinism and behavior contract of the sharded serving engine
+// (src/mlops/serving.h): with admission control off, scores, alarms and
+// monitoring counters are byte-identical to the serial single-row oracle at
+// every shard/thread/batch/queue configuration; admission control degrades
+// and sheds under CE storms without ever touching ingestion. Suite names
+// carry "Serving" so the TSan leg of tools/check.sh picks them up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ml/model.h"
+#include "mlops/serving.h"
+#include "sim/fleet.h"
+#include "sim/scenario.h"
+#include "sim/trace_store.h"
+
+namespace memfp::mlops {
+namespace {
+
+/// Deterministic stand-in for a trained classifier: cheap, stateless, and
+/// exercising every feature value, so a single flipped feature bit flips
+/// the folded score hash.
+class LinearStub final : public ml::BinaryClassifier {
+ public:
+  void fit(const ml::Dataset&, Rng&) override {}
+  double predict(std::span<const float> features) const override {
+    double s = 0.0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      s += static_cast<double>(i % 7 + 1) * static_cast<double>(features[i]);
+    }
+    return s / (1.0 + std::fabs(s));
+  }
+  std::string name() const override { return "linear-stub"; }
+  Json to_json() const override { return Json::object(); }
+};
+
+/// Always returns the same score — used to probe the threshold edge.
+class ConstantStub final : public ml::BinaryClassifier {
+ public:
+  explicit ConstantStub(double score) : score_(score) {}
+  void fit(const ml::Dataset&, Rng&) override {}
+  double predict(std::span<const float>) const override { return score_; }
+  std::string name() const override { return "constant-stub"; }
+  Json to_json() const override { return Json::object(); }
+
+ private:
+  double score_;
+};
+
+sim::ScenarioParams small_scenario() {
+  // ~170 planned DIMMs: big enough that every shard in a 16-way split is
+  // non-trivial, small enough for a sub-minute matrix on one core.
+  return sim::purley_scenario(/*seed=*/99).scaled(0.04);
+}
+
+constexpr SimTime kStart = days(40);
+constexpr SimTime kEnd = days(160);
+constexpr SimDuration kCadence = days(3);
+constexpr double kThreshold = 0.9;
+
+struct RunResult {
+  ServingStats stats;
+  std::vector<Alarm> alarms;
+  std::size_t monitored_predictions = 0;
+  std::size_t monitored_alarms = 0;
+};
+
+enum class Path { kEngine, kReference, kStore };
+
+RunResult run(const sim::FleetTrace& fleet, const ml::BinaryClassifier& model,
+              const FeatureStore& store, ServingConfig config, Path path,
+              const std::vector<std::string>& shard_files = {}) {
+  AlarmSystem alarms;
+  Monitoring monitoring;
+  ServingEngine engine(model, kThreshold, store, alarms, monitoring,
+                       std::move(config));
+  RunResult result;
+  switch (path) {
+    case Path::kEngine:
+      result.stats = engine.run_over(fleet, kStart, kEnd, kCadence);
+      break;
+    case Path::kReference:
+      result.stats = engine.run_reference(fleet, kStart, kEnd, kCadence);
+      break;
+    case Path::kStore:
+      result.stats = engine.run_over_store(shard_files, kStart, kEnd, kCadence);
+      break;
+  }
+  result.alarms = alarms.alarms();
+  result.monitored_predictions = monitoring.predictions();
+  result.monitored_alarms = monitoring.alarms();
+  return result;
+}
+
+void expect_identical(const RunResult& got, const RunResult& want) {
+  EXPECT_EQ(got.stats.score_hash, want.stats.score_hash);
+  EXPECT_EQ(got.stats.alarm_hash, want.stats.alarm_hash);
+  EXPECT_EQ(got.stats.scored, want.stats.scored);
+  EXPECT_EQ(got.stats.alarms, want.stats.alarms);
+  EXPECT_EQ(got.stats.dimms, want.stats.dimms);
+  EXPECT_EQ(got.stats.ingested_ces, want.stats.ingested_ces);
+  EXPECT_EQ(got.stats.ingested_events, want.stats.ingested_events);
+  EXPECT_EQ(got.monitored_predictions, want.monitored_predictions);
+  EXPECT_EQ(got.monitored_alarms, want.monitored_alarms);
+  ASSERT_EQ(got.alarms.size(), want.alarms.size());
+  for (std::size_t i = 0; i < got.alarms.size(); ++i) {
+    EXPECT_EQ(got.alarms[i].dimm, want.alarms[i].dimm);
+    EXPECT_EQ(got.alarms[i].time, want.alarms[i].time);
+    EXPECT_EQ(got.alarms[i].score, want.alarms[i].score);
+  }
+}
+
+TEST(ServingDeterminism, ShardAndThreadInvariant) {
+  const sim::FleetTrace fleet = sim::simulate_fleet(small_scenario());
+  const LinearStub model;
+  const FeatureStore store;
+  const RunResult reference = run(fleet, model, store, {}, Path::kReference);
+  ASSERT_GT(reference.stats.scored, 0u);
+  ASSERT_GT(reference.stats.alarms, 0u);  // alarm replay ordering exercised
+  ASSERT_LT(reference.stats.alarms, reference.stats.dimms);
+
+  for (const std::size_t shards : {1, 4, 16}) {
+    for (const int threads : {1, 2, 4}) {
+      SCOPED_TRACE(testing::Message()
+                   << shards << " shards, " << threads << " threads");
+      ServingConfig config;
+      config.shards = shards;
+      config.num_threads = threads;
+      expect_identical(run(fleet, model, store, config, Path::kEngine),
+                       reference);
+    }
+  }
+}
+
+TEST(ServingDeterminism, BatchSizeImmaterial) {
+  const sim::FleetTrace fleet = sim::simulate_fleet(small_scenario());
+  const LinearStub model;
+  const FeatureStore store;
+  const RunResult reference = run(fleet, model, store, {}, Path::kReference);
+
+  for (const std::size_t batch_rows : {1, 3, 64, 1024}) {
+    SCOPED_TRACE(testing::Message() << batch_rows << "-row batches");
+    ServingConfig config;
+    config.shards = 4;
+    config.batch_rows = batch_rows;
+    expect_identical(run(fleet, model, store, config, Path::kEngine),
+                     reference);
+  }
+}
+
+TEST(ServingDeterminism, StorePathMatchesInMemory) {
+  const sim::FleetTrace fleet = sim::simulate_fleet(small_scenario());
+  const LinearStub model;
+  const FeatureStore store;
+  const RunResult reference = run(fleet, model, store, {}, Path::kReference);
+
+  // Spill the fleet into 3 contiguous id-range shard files, the layout the
+  // fleet driver's trace store produces.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "memfp_serving_store";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::size_t n = fleet.dimms.size();
+  constexpr std::size_t kFiles = 3;
+  std::vector<std::string> files;
+  for (std::size_t s = 0; s < kFiles; ++s) {
+    files.push_back(sim::shard_path(dir.string(), s));
+    sim::ShardWriter writer(files.back(), fleet.platform, fleet.horizon);
+    for (std::size_t i = s * n / kFiles; i < (s + 1) * n / kFiles; ++i) {
+      writer.append(fleet.dimms[i]);
+    }
+    writer.finish();
+  }
+
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    ServingConfig config;
+    config.num_threads = threads;
+    expect_identical(run(fleet, model, store, config, Path::kStore, files),
+                     reference);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServingBackpressure, BoundedQueueStallsWithoutDivergence) {
+  const sim::FleetTrace fleet = sim::simulate_fleet(small_scenario());
+  const LinearStub model;
+  const FeatureStore store;
+  const RunResult reference = run(fleet, model, store, {}, Path::kReference);
+
+  ServingConfig config;
+  config.shards = 4;
+  config.queue_capacity = 2;  // absurdly tight: force constant drains
+  const RunResult tight = run(fleet, model, store, config, Path::kEngine);
+  EXPECT_GT(tight.stats.queue_stalls, 0u);
+  EXPECT_LE(tight.stats.peak_queue_depth, 2u);
+  // Backpressure is a memory bound, not a semantic switch.
+  expect_identical(tight, reference);
+
+  // A roomy queue stalls far less (the first tick still drains the whole
+  // pre-start backlog) and is allowed to run much deeper.
+  ServingConfig roomy;
+  roomy.shards = 4;
+  const RunResult loose = run(fleet, model, store, roomy, Path::kEngine);
+  EXPECT_LT(loose.stats.queue_stalls, tight.stats.queue_stalls / 10);
+  EXPECT_GT(loose.stats.peak_queue_depth, 2u);
+}
+
+/// A fleet where a few DIMMs emit CE storms (hundreds of events per cadence
+/// tick) and the rest trickle — the admission-control scenario.
+sim::FleetTrace storm_fleet() {
+  sim::FleetTrace fleet;
+  fleet.platform = dram::Platform::kIntelPurley;
+  fleet.horizon = days(200);
+  for (dram::DimmId id = 0; id < 12; ++id) {
+    sim::DimmTrace dimm;
+    dimm.id = id;
+    const bool stormy = id % 4 == 0;  // DIMMs 0, 4, 8 storm
+    const int per_tick = stormy ? 200 : 1;
+    for (SimTime t = kStart; t <= kEnd; t += kCadence) {
+      for (int k = 0; k < per_tick; ++k) {
+        dram::CeEvent ce;
+        ce.time = t - kCadence + 1 + k % (kCadence - 1);
+        ce.coord.bank = static_cast<int>(id) % 16;
+        ce.coord.row = k % 512;
+        ce.coord.column = (k / 512) % 64;
+        ce.pattern.add({static_cast<std::uint8_t>(k % 4), 0});
+        dimm.ces.push_back(ce);
+      }
+    }
+    fleet.dimms.push_back(std::move(dimm));
+  }
+  return fleet;
+}
+
+TEST(ServingAdmission, StormDimmsDegradeAndShed) {
+  const sim::FleetTrace fleet = storm_fleet();
+  const ConstantStub model(0.1);  // never alarms: every DIMM keeps scoring
+  const FeatureStore store;
+
+  ServingConfig off;
+  off.shards = 2;
+  const RunResult baseline = run(fleet, model, store, off, Path::kEngine);
+  EXPECT_EQ(baseline.stats.shed_scores, 0u);
+  EXPECT_EQ(baseline.stats.degraded_dimms, 0u);
+
+  ServingConfig on = off;
+  on.admission.enabled = true;
+  on.admission.tokens_per_tick = 8.0;
+  on.admission.bucket_capacity = 64.0;
+  on.admission.degraded_stride = 4;
+
+  AlarmSystem alarms;
+  Monitoring monitoring;
+  ServingEngine engine(model, kThreshold, store, alarms, monitoring, on);
+  const ServingStats stats = engine.run_over(fleet, kStart, kEnd, kCadence);
+
+  // The 3 storm DIMMs drain their buckets and degrade; the trickle DIMMs
+  // never do. Ingestion is untouched — only scoring cadence degrades.
+  EXPECT_EQ(stats.degraded_dimms, 3u);
+  EXPECT_GT(stats.shed_scores, 0u);
+  EXPECT_EQ(stats.ingested_ces, baseline.stats.ingested_ces);
+  EXPECT_LT(stats.scored, baseline.stats.scored);
+  // Shed decisions land in the monitoring counters.
+  EXPECT_EQ(monitoring.shed_scores(), stats.shed_scores);
+  EXPECT_EQ(monitoring.degraded_dimms(), stats.degraded_dimms);
+  EXPECT_EQ(monitoring.overload_ticks(), stats.overload_ticks);
+}
+
+TEST(ServingAdmission, OverloadTicksShedDegradedDimmsEntirely) {
+  const sim::FleetTrace fleet = storm_fleet();
+  const ConstantStub model(0.1);
+  const FeatureStore store;
+
+  ServingConfig config;
+  config.shards = 1;
+  config.admission.enabled = true;
+  config.admission.tokens_per_tick = 8.0;
+  config.admission.bucket_capacity = 64.0;
+  config.admission.degraded_stride = 1;  // stride alone would shed nothing
+  config.admission.shard_overload_events = 100;  // every storm tick overloads
+
+  AlarmSystem alarms;
+  Monitoring monitoring;
+  ServingEngine engine(model, kThreshold, store, alarms, monitoring, config);
+  const ServingStats stats = engine.run_over(fleet, kStart, kEnd, kCadence);
+  EXPECT_GT(stats.overload_ticks, 0u);
+  EXPECT_GT(stats.shed_scores, 0u);  // shed only via the overload rule
+}
+
+TEST(ServingThresholdEdge, ScoreEqualToThresholdAlarmsOnBothPaths) {
+  // A score exactly equal to threshold() must alarm, and identically so on
+  // the one-shot (score_row) and streaming (run_over) paths.
+  sim::FleetTrace fleet;
+  fleet.platform = dram::Platform::kIntelPurley;
+  fleet.horizon = days(200);
+  sim::DimmTrace dimm;
+  dimm.id = 7;
+  dram::CeEvent ce;
+  ce.time = kStart - days(1);
+  ce.pattern.add({3, 0});
+  dimm.ces.push_back(ce);
+  fleet.dimms.push_back(dimm);
+
+  const ConstantStub model(kThreshold);  // score == threshold exactly
+  const FeatureStore store;
+
+  AlarmSystem one_shot_alarms;
+  Monitoring one_shot_monitoring;
+  ServingEngine one_shot(model, kThreshold, store, one_shot_alarms,
+                         one_shot_monitoring, {});
+  const std::optional<double> score =
+      one_shot.score_row(dimm.id, kStart, store.serve(dimm, kStart));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(*score, kThreshold);
+
+  AlarmSystem streaming_alarms;
+  Monitoring streaming_monitoring;
+  ServingEngine streaming(model, kThreshold, store, streaming_alarms,
+                          streaming_monitoring, {});
+  streaming.run_over(fleet, kStart, kEnd, kCadence);
+
+  ASSERT_EQ(one_shot_alarms.alarms().size(), 1u);
+  ASSERT_EQ(streaming_alarms.alarms().size(), 1u);
+  EXPECT_EQ(one_shot_alarms.alarms()[0].dimm, 7u);
+  EXPECT_EQ(streaming_alarms.alarms()[0].dimm, 7u);
+  EXPECT_EQ(one_shot_alarms.alarms()[0].time, kStart);
+  EXPECT_EQ(streaming_alarms.alarms()[0].time, kStart);
+  EXPECT_EQ(one_shot_alarms.alarms()[0].score, kThreshold);
+  EXPECT_EQ(streaming_alarms.alarms()[0].score, kThreshold);
+  EXPECT_EQ(one_shot_monitoring.alarms(), 1u);
+  EXPECT_EQ(streaming_monitoring.alarms(), 1u);
+}
+
+TEST(ServingThresholdEdge, EmptyWindowIsNulloptNotZero) {
+  const ConstantStub model(0.0);  // a genuine score of 0.0
+  const FeatureStore store;
+  AlarmSystem alarms;
+  Monitoring monitoring;
+  ServingEngine engine(model, kThreshold, store, alarms, monitoring, {});
+
+  sim::DimmTrace dimm;
+  dimm.id = 1;
+  dram::CeEvent ce;
+  ce.time = days(50);
+  ce.pattern.add({0, 0});
+  dimm.ces.push_back(ce);
+
+  // Before the first CE the observation window is empty: nothing to score.
+  EXPECT_EQ(engine.score_row(dimm.id, days(10), store.serve(dimm, days(10))),
+            std::nullopt);
+  EXPECT_EQ(monitoring.predictions(), 0u);
+  // After it, the score is a real value — which happens to be 0.0 here, and
+  // must not be confused with "no score".
+  const std::optional<double> score =
+      engine.score_row(dimm.id, days(51), store.serve(dimm, days(51)));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(*score, 0.0);
+  EXPECT_EQ(monitoring.predictions(), 1u);
+}
+
+TEST(ServingShardMap, MatchesContiguousRangesAndCoversFleet) {
+  for (const std::size_t total : {1u, 7u, 97u, 1000u}) {
+    for (const std::size_t shards : {1u, 3u, 16u, 1000u}) {
+      SCOPED_TRACE(testing::Message() << total << " DIMMs, " << shards
+                                      << " shards");
+      std::size_t prev = 0;
+      for (std::size_t i = 0; i < total; ++i) {
+        const std::size_t s = serving_shard_of(i, total, shards);
+        ASSERT_LT(s, shards);
+        // Consistent with the contiguous range rule begin(s) = s*total/shards.
+        ASSERT_GE(i, s * total / shards);
+        ASSERT_LT(i, (s + 1) * total / shards);
+        ASSERT_GE(s, prev);  // monotone: ranges are contiguous
+        prev = s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memfp::mlops

@@ -10,16 +10,18 @@
 #   leg 2  werror    clean -Wall -Wextra -Werror build + full ctest
 #   leg 3  asan      AddressSanitizer + UBSan build, full ctest
 #   leg 4  tsan      ThreadSanitizer build, thread-pool + parallel
-#                    determinism suites (the racy surface; the full suite
-#                    under TSan is ~20x and adds no extra coverage)
+#                    determinism + sharded serving suites (the racy
+#                    surface; the full suite under TSan is ~20x and adds
+#                    no extra coverage)
 #   leg 5  scalar    full ctest with MEMFP_SIMD=scalar forced: the SIMD
 #                    reference lane stays green on its own, and the
 #                    dispatch-equality suites (Simd*, GoldenModels) re-run
 #                    with every kernel pinned to the scalar table
 #   leg 6  bench     bench_micro smoke run (tracked benches execute with
 #                    minimal iterations, so bench binaries can't bit-rot)
-#                    plus a tiny-scale bench_fleet pass (the sharded
-#                    driver's spill→stream→score loop end to end)
+#                    plus tiny-scale bench_fleet and bench_serving passes
+#                    (sharded driver spill→stream→score and the batched
+#                    serving engine end to end)
 #   leg 7  tidy      clang-tidy over src/ (advisory; skipped when the
 #                    binary is not installed)
 #
@@ -80,10 +82,11 @@ run_tsan() {
   local dir="$MATRIX_ROOT/tsan"
   configure_and_build "$dir" -DMEMFP_SANITIZE=thread
   # The concurrency surface: the pool itself plus every parallelised path
-  # (fleet sim, forest/GBDT training, scoring) exercised with >1 thread.
+  # (fleet sim, forest/GBDT training, scoring, sharded serving) exercised
+  # with >1 thread.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|Parallel|Determinism'
+      -R 'ThreadPool|Parallel|Determinism|Serving'
 }
 
 run_scalar() {
@@ -113,6 +116,10 @@ run_bench() {
   # extract → score, so the sharded driver can't bit-rot between perf runs.
   cmake --build "$dir" -j "$JOBS" --target bench_fleet
   MEMFP_BENCH_SCALE=0.02 "$dir/bench/bench_fleet" > /dev/null
+  # Serving smoke: the sharded/batched engine end to end (in-memory +
+  # store-backed sweeps and both storm admission runs) at toy scale.
+  cmake --build "$dir" -j "$JOBS" --target bench_serving
+  MEMFP_BENCH_SCALE=0.02 "$dir/bench/bench_serving" > /dev/null
 }
 
 run_tidy() {

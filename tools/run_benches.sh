@@ -28,6 +28,13 @@
 #                       after changes to src/sim/trace_store.* or
 #                       src/core/fleet_driver.*. Written by bench_fleet
 #                       itself; expect ~15 minutes for the full sweep.
+#   BENCH_serving.json  online serving engine: events/sec and p50/p99 tick
+#                       latency for the frozen serial-baseline workload
+#                       (vs the pre-engine loop at d688675), a 10^5-DIMM
+#                       in-memory + store-backed sweep, and the CE-storm
+#                       admission on/off comparison — rerun after changes
+#                       to src/mlops/serving.* or src/features/window_*.
+#                       Written by bench_serving itself.
 # Each file records the baseline, the current numbers, and the speedup.
 # The sanitizer refusal below covers every emitted file, BENCH_fleet.json
 # included: instrumented builds never record numbers.
@@ -292,3 +299,7 @@ EOF
 cmake --build "$BUILD" -j --target bench_fleet
 "$BUILD/bench/bench_fleet" "$ROOT/BENCH_fleet.json" >&2
 python3 -c "import json,sys; print(json.dumps(json.load(open(sys.argv[1]))['points'], indent=2))" "$ROOT/BENCH_fleet.json"
+
+cmake --build "$BUILD" -j --target bench_serving
+"$BUILD/bench/bench_serving" "$ROOT/BENCH_serving.json" >&2
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); print(json.dumps({'points': d['points'], 'storm': d['storm']}, indent=2))" "$ROOT/BENCH_serving.json"
