@@ -124,43 +124,41 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_fleet: cannot write %s\n", out_path);
       return 1;
     }
-    std::fprintf(out,
-                 "{\n  \"generated_by\": \"tools/run_benches.sh\",\n"
-                 "  \"bench_scale\": %s,\n  \"horizon_days\": 56,\n"
-                 "  \"dimms_per_shard\": 16384,\n"
-                 "  \"rss_after_training_mb\": %s,\n  \"points\": [\n",
-                 bench::fmt(scale).c_str(),
-                 bench::fmt(static_cast<double>(rss_after_training) /
-                            (1024.0 * 1024.0), 1)
-                     .c_str());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const PointResult& point = points[i];
+    bench::JsonEmitter json;
+    json.begin_object();
+    bench::emit_context(json);
+    json.field("horizon_days", 56);
+    json.field("dimms_per_shard", 16384);
+    json.field("rss_after_training_mb",
+               static_cast<double>(rss_after_training) / (1024.0 * 1024.0),
+               1);
+    json.begin_array("points");
+    for (const PointResult& point : points) {
       const auto events = static_cast<double>(point.run.events());
-      std::fprintf(
-          out,
-          "    {\"planned_dimms\": %zu, \"observed_dimms\": %zu, "
-          "\"shards\": %zu, \"events\": %llu, \"samples\": %zu, "
-          "\"encoded_bytes\": %llu, \"bytes_per_event\": %s, "
-          "\"seconds\": %s, \"dimms_per_sec\": %s, \"events_per_sec\": %s, "
-          "\"peak_rss_mb\": %s}%s\n",
-          point.run.planned_dimms, point.run.observed_dimms, point.shards,
-          static_cast<unsigned long long>(point.run.events()),
-          point.run.samples,
-          static_cast<unsigned long long>(point.run.encoded_bytes),
-          bench::fmt(static_cast<double>(point.run.encoded_bytes) /
-                     std::max(1.0, events))
-              .c_str(),
-          bench::fmt(point.seconds).c_str(),
-          bench::fmt(static_cast<double>(point.run.planned_dimms) /
-                     point.seconds, 0)
-              .c_str(),
-          bench::fmt(events / point.seconds, 0).c_str(),
-          bench::fmt(static_cast<double>(point.peak_rss) / (1024.0 * 1024.0),
-                     1)
-              .c_str(),
-          i + 1 < points.size() ? "," : "");
+      json.begin_object();
+      json.field("planned_dimms", point.run.planned_dimms);
+      json.field("observed_dimms", point.run.observed_dimms);
+      json.field("shards", point.shards);
+      json.field("events",
+                 static_cast<unsigned long long>(point.run.events()));
+      json.field("samples", point.run.samples);
+      json.field("encoded_bytes",
+                 static_cast<unsigned long long>(point.run.encoded_bytes));
+      json.field("bytes_per_event",
+                 static_cast<double>(point.run.encoded_bytes) /
+                     std::max(1.0, events));
+      json.field("seconds", point.seconds);
+      json.field("dimms_per_sec",
+                 static_cast<double>(point.run.planned_dimms) / point.seconds,
+                 0);
+      json.field("events_per_sec", events / point.seconds, 0);
+      json.field("peak_rss_mb",
+                 static_cast<double>(point.peak_rss) / (1024.0 * 1024.0), 1);
+      json.end_object();
     }
-    std::fprintf(out, "  ]\n}\n");
+    json.end_array();
+    json.end_object();
+    std::fputs(json.str().c_str(), out);
     std::fclose(out);
   }
   return 0;

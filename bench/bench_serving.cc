@@ -340,62 +340,60 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_serving: cannot write %s\n", out_path);
       return 1;
     }
-    std::fprintf(out,
-                 "{\n  \"generated_by\": \"tools/run_benches.sh\",\n"
-                 "  \"bench_scale\": %s,\n  \"num_cpus\": %d,\n"
-                 "  \"baseline\": {\"commit\": \"d688675\", \"workload\": "
-                 "\"%s\",\n    \"serial_seconds\": %s, \"valid_at_scale\": "
-                 "1.0},\n  \"points\": [\n",
-                 bench::fmt(scale).c_str(), bench::num_cpus_online(),
-                 kFrozenWorkload, bench::fmt(kFrozenSerialSeconds).c_str());
+    bench::JsonEmitter json;
+    json.begin_object();
+    bench::emit_context(json);
+    json.begin_object("baseline");
+    json.field("commit", "d688675");
+    json.field("workload", kFrozenWorkload);
+    json.field("serial_seconds", kFrozenSerialSeconds);
+    json.field("valid_at_scale", 1.0, 1);
+    json.end_object();
+    json.begin_array("points");
     for (std::size_t i = 0; i < points.size(); ++i) {
       const Point& p = points[i];
-      std::fprintf(
-          out,
-          "    {\"workload\": \"%s\", \"dimms\": %llu, \"events\": %llu, "
-          "\"scored\": %llu, \"seconds\": %s, \"events_per_sec\": %s, "
-          "\"scored_per_sec\": %s, \"tick_p50_ms\": %s, \"tick_p99_ms\": %s, "
-          "\"serial_seconds\": %s, \"speedup_vs_serial\": %s, "
-          "\"speedup_vs_frozen\": %s, \"peak_rss_mb\": %s}%s\n",
-          p.name.c_str(), static_cast<unsigned long long>(p.dimms),
-          static_cast<unsigned long long>(p.events),
-          static_cast<unsigned long long>(p.scored),
-          bench::fmt(p.seconds).c_str(),
-          bench::fmt(static_cast<double>(p.events) / p.seconds, 0).c_str(),
-          bench::fmt(static_cast<double>(p.scored) / p.seconds, 0).c_str(),
-          bench::fmt(p.tick_ms.p50, 3).c_str(),
-          bench::fmt(p.tick_ms.p99, 3).c_str(),
-          p.ref_seconds > 0.0 ? bench::fmt(p.ref_seconds).c_str() : "0",
-          p.ref_seconds > 0.0
-              ? bench::fmt(p.ref_seconds / p.seconds).c_str()
-              : "0",
-          i == 0 && scale == 1.0
-              ? bench::fmt(kFrozenSerialSeconds / p.seconds).c_str()
-              : "0",
-          bench::fmt(static_cast<double>(p.peak_rss) / (1024.0 * 1024.0), 1)
-              .c_str(),
-          i + 1 < points.size() ? "," : "");
+      json.begin_object();
+      json.field("workload", p.name);
+      json.field("dimms", static_cast<unsigned long long>(p.dimms));
+      json.field("events", static_cast<unsigned long long>(p.events));
+      json.field("scored", static_cast<unsigned long long>(p.scored));
+      json.field("seconds", p.seconds);
+      json.field("events_per_sec",
+                 static_cast<double>(p.events) / p.seconds, 0);
+      json.field("scored_per_sec",
+                 static_cast<double>(p.scored) / p.seconds, 0);
+      json.field("tick_p50_ms", p.tick_ms.p50, 3);
+      json.field("tick_p99_ms", p.tick_ms.p99, 3);
+      json.field("serial_seconds", p.ref_seconds > 0.0 ? p.ref_seconds : 0.0);
+      json.field("speedup_vs_serial",
+                 p.ref_seconds > 0.0 ? p.ref_seconds / p.seconds : 0.0);
+      json.field("speedup_vs_frozen",
+                 i == 0 && scale == 1.0 ? kFrozenSerialSeconds / p.seconds
+                                        : 0.0);
+      json.field("peak_rss_mb",
+                 static_cast<double>(p.peak_rss) / (1024.0 * 1024.0), 1);
+      json.end_object();
     }
-    std::fprintf(out, "  ],\n  \"storm\": [\n");
-    for (std::size_t i = 0; i < storms.size(); ++i) {
-      const StormPoint& p = storms[i];
-      std::fprintf(
-          out,
-          "    {\"ces_per_tick\": %d, \"admission\": %s, \"seconds\": %s, "
-          "\"events_per_sec\": %s, \"scored\": %llu, \"shed_scores\": %llu, "
-          "\"degraded_dimms\": %llu, \"tick_p50_ms\": %s, "
-          "\"tick_p99_ms\": %s}%s\n",
-          p.ces_per_tick, p.admission ? "true" : "false",
-          bench::fmt(p.seconds).c_str(),
-          bench::fmt(static_cast<double>(p.events) / p.seconds, 0).c_str(),
-          static_cast<unsigned long long>(p.scored),
-          static_cast<unsigned long long>(p.shed),
-          static_cast<unsigned long long>(p.degraded),
-          bench::fmt(p.tick_ms.p50, 3).c_str(),
-          bench::fmt(p.tick_ms.p99, 3).c_str(),
-          i + 1 < storms.size() ? "," : "");
+    json.end_array();
+    json.begin_array("storm");
+    for (const StormPoint& p : storms) {
+      json.begin_object();
+      json.field("ces_per_tick", p.ces_per_tick);
+      json.field("admission", p.admission);
+      json.field("seconds", p.seconds);
+      json.field("events_per_sec",
+                 static_cast<double>(p.events) / p.seconds, 0);
+      json.field("scored", static_cast<unsigned long long>(p.scored));
+      json.field("shed_scores", static_cast<unsigned long long>(p.shed));
+      json.field("degraded_dimms",
+                 static_cast<unsigned long long>(p.degraded));
+      json.field("tick_p50_ms", p.tick_ms.p50, 3);
+      json.field("tick_p99_ms", p.tick_ms.p99, 3);
+      json.end_object();
     }
-    std::fprintf(out, "  ]\n}\n");
+    json.end_array();
+    json.end_object();
+    std::fputs(json.str().c_str(), out);
     std::fclose(out);
   }
   return 0;

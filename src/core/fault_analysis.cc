@@ -131,4 +131,93 @@ std::vector<BitStatSeries> bit_pattern_ue_rates(const sim::FleetTrace& fleet,
   return series;
 }
 
+const char* fault_class_name(FaultClass fault_class) {
+  switch (fault_class) {
+    case FaultClass::kNone:
+      return "none";
+    case FaultClass::kCell:
+      return "cell";
+    case FaultClass::kRow:
+      return "row";
+    case FaultClass::kColumn:
+      return "column";
+    case FaultClass::kBank:
+      return "bank";
+    case FaultClass::kMultiDevice:
+      return "multi-device";
+    case FaultClass::kSudden:
+      return "sudden";
+  }
+  return "?";
+}
+
+FaultClass dominant_fault_class(const sim::DimmTrace& trace,
+                                const features::FaultThresholds& thresholds) {
+  if (trace.ces.empty()) {
+    return trace.has_ue() ? FaultClass::kSudden : FaultClass::kNone;
+  }
+  const features::InferredFaults faults =
+      features::infer_faults(trace.ces, thresholds);
+  if (faults.multi_device) return FaultClass::kMultiDevice;
+  if (faults.bank_faults > 0) return FaultClass::kBank;
+  // Row vs column ties break toward the mode with more inferred instances;
+  // equality keeps row (the mode field studies report as more UE-prone).
+  if (faults.row_faults > 0 || faults.column_faults > 0) {
+    return faults.row_faults >= faults.column_faults ? FaultClass::kRow
+                                                     : FaultClass::kColumn;
+  }
+  if (faults.cell_faults > 0) return FaultClass::kCell;
+  return FaultClass::kNone;
+}
+
+std::vector<FaultClassAttribution> attribute_outcomes(
+    const std::vector<FaultClass>& classes,
+    const std::vector<AlarmOutcome>& outcomes,
+    const features::PredictionWindows& windows) {
+  std::vector<FaultClassAttribution> table(kFaultClassCount);
+  for (std::size_t c = 0; c < kFaultClassCount; ++c) {
+    table[c].fault_class = static_cast<FaultClass>(c);
+  }
+  const std::size_t n = std::min(classes.size(), outcomes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    FaultClassAttribution& row = table[static_cast<std::size_t>(classes[i])];
+    const AlarmOutcome& outcome = outcomes[i];
+    ++row.dimms;
+    if (outcome.positive) {
+      const bool timely =
+          outcome.alarm &&
+          outcome.ue_time - *outcome.alarm >= windows.lead &&
+          outcome.ue_time - *outcome.alarm <= windows.lead + windows.prediction;
+      if (timely) {
+        ++row.true_positives;
+      } else {
+        ++row.false_negatives;
+        if (outcome.alarm) ++row.false_positives;
+      }
+    } else if (outcome.alarm) {
+      ++row.false_positives;
+    } else {
+      ++row.true_negatives;
+    }
+  }
+  for (FaultClassAttribution& row : table) {
+    const std::size_t positives = row.true_positives + row.false_negatives;
+    if (positives > 0) {
+      row.fn_rate = static_cast<double>(row.false_negatives) /
+                    static_cast<double>(positives);
+    }
+    // fp_rate denominator: negative DIMMs of the class. A late alarm on a
+    // positive counts FP too (the migration was spent), but only alarms on
+    // actual negatives enter the rate — those are the negatives that are
+    // neither TN nor positive.
+    const std::size_t negative_dimms = row.dimms - positives;
+    if (negative_dimms > 0) {
+      const std::size_t fp_on_negatives = negative_dimms - row.true_negatives;
+      row.fp_rate = static_cast<double>(fp_on_negatives) /
+                    static_cast<double>(negative_dimms);
+    }
+  }
+  return table;
+}
+
 }  // namespace memfp::core

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluation.h"
 #include "features/fault_inference.h"
+#include "features/windows.h"
 #include "sim/trace.h"
 
 namespace memfp::core {
@@ -52,5 +54,58 @@ struct BitStatSeries {
 /// error-bit statistic of the DIMM's CE history.
 std::vector<BitStatSeries> bit_pattern_ue_rates(const sim::FleetTrace& fleet,
                                                 int max_value = 8);
+
+// ---------------------------------------------------------------------------
+// Campaign root-cause attribution (ROADMAP item 5): false negatives and
+// false positives broken down by the fault class that generated the DIMM's
+// CE history, so a sweep result says *which* fault modes a predictor+policy
+// misses, not just how many DIMMs.
+// ---------------------------------------------------------------------------
+
+/// Exclusive per-DIMM fault class. Unlike the (overlapping) Fig 4 buckets,
+/// each DIMM gets exactly one label, by precedence: a sudden UE carries no
+/// CE evidence at all; multi-device involvement dominates any geometric
+/// mode; then the widest inferred geometry wins (bank > row/column > cell);
+/// CE history with no inferred structure is kNone.
+enum class FaultClass {
+  kNone = 0,
+  kCell,
+  kRow,
+  kColumn,
+  kBank,
+  kMultiDevice,
+  kSudden,
+};
+inline constexpr std::size_t kFaultClassCount = 7;
+
+const char* fault_class_name(FaultClass fault_class);
+
+/// Classifies one DIMM trace (see FaultClass precedence).
+FaultClass dominant_fault_class(
+    const sim::DimmTrace& trace,
+    const features::FaultThresholds& thresholds = {});
+
+/// One row of a campaign's root-cause table: how a predictor+policy treated
+/// the evaluated DIMMs of one fault class.
+struct FaultClassAttribution {
+  FaultClass fault_class = FaultClass::kNone;
+  std::size_t dimms = 0;
+  std::size_t true_positives = 0;
+  std::size_t false_negatives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  double fn_rate = 0.0;  ///< FN / positive DIMMs of the class
+  double fp_rate = 0.0;  ///< FP / negative DIMMs of the class
+};
+
+/// Joins per-DIMM alarm outcomes with their fault classes under the same
+/// lead/validity window rules as dimm_confusion (a late alarm on a positive
+/// counts both FN and FP). `classes` and `outcomes` are parallel arrays.
+/// Returns kFaultClassCount rows in enum order; absent classes keep
+/// dimms == 0.
+std::vector<FaultClassAttribution> attribute_outcomes(
+    const std::vector<FaultClass>& classes,
+    const std::vector<AlarmOutcome>& outcomes,
+    const features::PredictionWindows& windows);
 
 }  // namespace memfp::core

@@ -73,4 +73,36 @@ std::unique_ptr<EccScheme> make_platform_ecc(Platform platform) {
   return nullptr;
 }
 
+const char* ecc_choice_name(EccChoice choice) {
+  switch (choice) {
+    case EccChoice::kPlatform:
+      return "platform";
+    case EccChoice::kSecDed:
+      return "sec-ded";
+    case EccChoice::kChipkillSddc:
+      return "chipkill-sddc";
+    case EccChoice::kPurley:
+      return "purley-sddc";
+    case EccChoice::kWhitley:
+      return "whitley-sddc";
+  }
+  return "?";
+}
+
+std::unique_ptr<EccScheme> make_ecc(EccChoice choice, Platform platform) {
+  switch (choice) {
+    case EccChoice::kPlatform:
+      return make_platform_ecc(platform);
+    case EccChoice::kSecDed:
+      return std::make_unique<SecDedEcc>();
+    case EccChoice::kChipkillSddc:
+      return std::make_unique<ChipkillSddcEcc>();
+    case EccChoice::kPurley:
+      return std::make_unique<PurleyEcc>();
+    case EccChoice::kWhitley:
+      return std::make_unique<WhitleyEcc>();
+  }
+  return nullptr;
+}
+
 }  // namespace memfp::dram

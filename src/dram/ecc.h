@@ -86,4 +86,23 @@ class WhitleyEcc final : public EccScheme {
 /// The ECC deployed on each studied platform.
 std::unique_ptr<EccScheme> make_platform_ecc(Platform platform);
 
+/// A sweepable ECC selection: either the platform's own deployed code
+/// (kPlatform) or one of the four modelled schemes forced onto the fleet.
+/// This is the ECC axis of the campaign engine (core/campaign.h) — the same
+/// fault population classified under a different correction boundary yields
+/// a different observable CE/UE mix, which is exactly the fault × ECC study
+/// an injection campaign sweeps.
+enum class EccChoice {
+  kPlatform,
+  kSecDed,
+  kChipkillSddc,
+  kPurley,
+  kWhitley,
+};
+
+const char* ecc_choice_name(EccChoice choice);
+
+/// Builds the chosen scheme; kPlatform defers to make_platform_ecc.
+std::unique_ptr<EccScheme> make_ecc(EccChoice choice, Platform platform);
+
 }  // namespace memfp::dram

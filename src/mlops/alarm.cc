@@ -20,7 +20,7 @@ MitigationReport account_mitigations(
     const sim::FleetTrace& fleet, const AlarmSystem& alarms,
     const features::PredictionWindows& windows,
     const MitigationPolicy& policy) {
-  MitigationReport report;
+  std::size_t tp = 0, fp = 0, fn = 0;
   for (const sim::DimmTrace& dimm : fleet.dimms) {
     const std::optional<SimTime> alarm = alarms.first_alarm(dimm.id);
     if (dimm.predictable_ue()) {
@@ -28,29 +28,16 @@ MitigationReport account_mitigations(
       const bool timely = alarm && ue - *alarm >= windows.lead &&
                           ue - *alarm <= windows.lead + windows.prediction;
       if (timely) {
-        ++report.true_positives;
+        ++tp;
       } else {
-        ++report.false_negatives;
-        if (alarm) ++report.false_positives;  // migration spent for nothing
+        ++fn;
+        if (alarm) ++fp;  // migration spent for nothing
       }
     } else if (alarm) {
-      ++report.false_positives;
+      ++fp;
     }
   }
-  const double va = policy.vms_per_server;
-  const double yc = policy.cold_migration_fraction;
-  const auto tp = static_cast<double>(report.true_positives);
-  const auto fp = static_cast<double>(report.false_positives);
-  const auto fn = static_cast<double>(report.false_negatives);
-  report.interruptions_without_prediction = va * (tp + fn);
-  report.interruptions_with_prediction = va * yc * (tp + fp) + va * fn;
-  report.realized_virr =
-      report.interruptions_without_prediction <= 0.0
-          ? 0.0
-          : (report.interruptions_without_prediction -
-             report.interruptions_with_prediction) /
-                report.interruptions_without_prediction;
-  return report;
+  return account_confusion(tp, fp, fn, policy);
 }
 
 }  // namespace memfp::mlops

@@ -49,6 +49,37 @@ struct MitigationReport {
   double realized_virr = 0.0;                     ///< (V - V') / V
 };
 
+/// Interruption balance from already-classified confusion totals — the
+/// arithmetic half of account_mitigations, applied after alarms have been
+/// joined with ground truth. The campaign engine (core/campaign) evaluates
+/// many (threshold, policy) points from cached confusion counts, so this
+/// stays inline in the header: core can reuse the exact accounting without a
+/// core → mlops link dependency (memfp_mlops links memfp_core, not vice
+/// versa).
+inline MitigationReport account_confusion(std::size_t true_positives,
+                                          std::size_t false_positives,
+                                          std::size_t false_negatives,
+                                          const MitigationPolicy& policy = {}) {
+  MitigationReport report;
+  report.true_positives = true_positives;
+  report.false_positives = false_positives;
+  report.false_negatives = false_negatives;
+  const double va = policy.vms_per_server;
+  const double yc = policy.cold_migration_fraction;
+  const auto tp = static_cast<double>(true_positives);
+  const auto fp = static_cast<double>(false_positives);
+  const auto fn = static_cast<double>(false_negatives);
+  report.interruptions_without_prediction = va * (tp + fn);
+  report.interruptions_with_prediction = va * yc * (tp + fp) + va * fn;
+  report.realized_virr =
+      report.interruptions_without_prediction <= 0.0
+          ? 0.0
+          : (report.interruptions_without_prediction -
+             report.interruptions_with_prediction) /
+                report.interruptions_without_prediction;
+  return report;
+}
+
 /// Joins alarms with ground-truth UEs under the lead/validity window rules
 /// and computes the interruption balance.
 MitigationReport account_mitigations(const sim::FleetTrace& fleet,

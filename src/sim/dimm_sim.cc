@@ -28,7 +28,7 @@ DimmTrace DimmSimulator::run(dram::DimmId id, std::uint32_t server_id,
 
   const dram::Geometry geometry = config.geometry();
   const dram::FaultPatternModel model(platform_, geometry);
-  const auto ecc = dram::make_platform_ecc(platform_);
+  const auto ecc = dram::make_ecc(params_.ecc, platform_);
 
   // Generate candidate transfer times bucket by bucket.
   std::vector<Transfer> transfers;

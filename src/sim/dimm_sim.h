@@ -27,6 +27,12 @@ struct DimmSimParams {
   /// rolled into the BMC's suppressed count (real BMCs drop them too).
   int max_transfers_per_bucket = 48;
   BmcPolicy bmc;
+  /// ECC scheme classifying the error transfers. kPlatform (the default)
+  /// keeps the platform's deployed code; a campaign's ECC axis forces one of
+  /// the modelled schemes instead. Only the CE/UE classification changes —
+  /// the fault population and every RNG draw are untouched, so two runs of
+  /// the same scenario under different ECCs see the same raw transfers.
+  dram::EccChoice ecc = dram::EccChoice::kPlatform;
 };
 
 class DimmSimulator {

@@ -53,19 +53,26 @@ void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
 
 /// Bounds-checked decode cursor. Every primitive dies with a MEMFP_CHECK
 /// diagnostic on truncation or malformed data — never reads out of bounds.
+/// `context` (e.g. " in <shard path> (record 17)") is appended to every
+/// diagnostic so a corrupt shard in a multi-file store names itself.
 class Cursor {
  public:
-  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit Cursor(std::span<const std::uint8_t> data,
+                  std::string_view context = {})
+      : data_(data), context_(context) {}
 
   std::size_t position() const { return pos_; }
   bool exhausted() const { return pos_ == data_.size(); }
+  std::string_view context() const { return context_; }
 
   std::uint64_t varint() {
     std::uint64_t v = 0;
     int shift = 0;
     while (true) {
-      MEMFP_CHECK_LT(pos_, data_.size()) << "trace store: truncated varint";
-      MEMFP_CHECK_LT(shift, 64) << "trace store: varint overflows 64 bits";
+      MEMFP_CHECK_LT(pos_, data_.size())
+          << "trace store: truncated varint" << context_;
+      MEMFP_CHECK_LT(shift, 64)
+          << "trace store: varint overflows 64 bits" << context_;
       const std::uint8_t byte = data_[pos_++];
       v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) return v;
@@ -76,24 +83,28 @@ class Cursor {
   /// Varint narrowed to a non-negative int (coordinates, config fields).
   int varint_int() {
     const std::uint64_t v = varint();
-    MEMFP_CHECK_LE(v, 0x7fffffffULL) << "trace store: field exceeds int range";
+    MEMFP_CHECK_LE(v, 0x7fffffffULL)
+        << "trace store: field exceeds int range" << context_;
     return static_cast<int>(v);
   }
 
   std::uint8_t byte() {
-    MEMFP_CHECK_LT(pos_, data_.size()) << "trace store: truncated record";
+    MEMFP_CHECK_LT(pos_, data_.size())
+        << "trace store: truncated record" << context_;
     return data_[pos_++];
   }
 
   std::uint32_t fixed_u32() {
-    MEMFP_CHECK_LE(pos_ + 4, data_.size()) << "trace store: truncated f32";
+    MEMFP_CHECK_LE(pos_ + 4, data_.size())
+        << "trace store: truncated f32" << context_;
     const std::uint32_t v = get_u32(data_.data() + pos_);
     pos_ += 4;
     return v;
   }
 
   std::span<const std::uint8_t> bytes(std::size_t n) {
-    MEMFP_CHECK_LE(n, data_.size() - pos_) << "trace store: truncated bytes";
+    MEMFP_CHECK_LE(n, data_.size() - pos_)
+        << "trace store: truncated bytes" << context_;
     const std::span<const std::uint8_t> view = data_.subspan(pos_, n);
     pos_ += n;
     return view;
@@ -102,6 +113,7 @@ class Cursor {
  private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  std::string_view context_;
 };
 
 // ---------------------------------------------------------------------------
@@ -162,9 +174,11 @@ dram::ErrorPattern decode_pattern(Cursor& in) {
   int dq = 0;
   for (std::uint64_t g = 0; g < groups; ++g) {
     dq += in.varint_int();
-    MEMFP_CHECK_LE(dq, 0xff) << "trace store: DQ lane exceeds 8 bits";
+    MEMFP_CHECK_LE(dq, 0xff)
+        << "trace store: DQ lane exceeds 8 bits" << in.context();
     const std::uint8_t mask = in.byte();
-    MEMFP_CHECK_NE(mask, 0u) << "trace store: empty beat mask group";
+    MEMFP_CHECK_NE(mask, 0u)
+        << "trace store: empty beat mask group" << in.context();
     for (int beat = 0; beat < 8; ++beat) {
       if (mask & (1u << beat)) {
         bits.push_back({static_cast<std::uint8_t>(dq),
@@ -234,28 +248,31 @@ void encode_dimm_record(const DimmTrace& trace,
 }
 
 DimmTrace decode_dimm_record(std::span<const std::uint8_t> payload,
-                             dram::Platform platform) {
-  Cursor in(payload);
+                             dram::Platform platform,
+                             std::string_view context) {
+  Cursor in(payload, context);
   DimmTrace trace;
   trace.platform = platform;
   const std::uint64_t id = in.varint();
-  MEMFP_CHECK_LE(id, 0xffffffffULL) << "trace store: DimmId exceeds 32 bits";
+  MEMFP_CHECK_LE(id, 0xffffffffULL)
+      << "trace store: DimmId exceeds 32 bits" << context;
   trace.id = static_cast<dram::DimmId>(id);
   const std::uint64_t server = in.varint();
   MEMFP_CHECK_LE(server, 0xffffffffULL)
-      << "trace store: server id exceeds 32 bits";
+      << "trace store: server id exceeds 32 bits" << context;
   trace.server_id = static_cast<std::uint32_t>(server);
 
   const std::uint8_t manufacturer = in.byte();
   MEMFP_CHECK_LE(manufacturer, static_cast<int>(dram::Manufacturer::kD))
-      << "trace store: invalid manufacturer";
+      << "trace store: invalid manufacturer" << context;
   trace.config.manufacturer = static_cast<dram::Manufacturer>(manufacturer);
   const std::uint8_t process = in.byte();
   MEMFP_CHECK_LE(process, static_cast<int>(dram::DramProcess::k1a))
-      << "trace store: invalid process node";
+      << "trace store: invalid process node" << context;
   trace.config.process = static_cast<dram::DramProcess>(process);
   const std::uint8_t width = in.byte();
-  MEMFP_CHECK(width == 4 || width == 8) << "trace store: invalid device width";
+  MEMFP_CHECK(width == 4 || width == 8)
+      << "trace store: invalid device width" << context;
   trace.config.width = static_cast<dram::DeviceWidth>(width);
   trace.config.frequency_mhz = in.varint_int();
   trace.config.capacity_gib = in.varint_int();
@@ -274,7 +291,7 @@ DimmTrace decode_dimm_record(std::span<const std::uint8_t> payload,
     const std::uint64_t delta = in.varint();
     MEMFP_CHECK_LE(delta, static_cast<std::uint64_t>(
                               std::numeric_limits<SimTime>::max() - prev))
-        << "trace store: CE timestamp overflows SimTime";
+        << "trace store: CE timestamp overflows SimTime" << context;
     ce.time = prev + static_cast<SimTime>(delta);
     prev = ce.time;
     ce.coord = decode_coord(in);
@@ -290,36 +307,37 @@ DimmTrace decode_dimm_record(std::span<const std::uint8_t> payload,
     const std::uint64_t delta = in.varint();
     MEMFP_CHECK_LE(delta, static_cast<std::uint64_t>(
                               std::numeric_limits<SimTime>::max() - prev))
-        << "trace store: event timestamp overflows SimTime";
+        << "trace store: event timestamp overflows SimTime" << context;
     event.time = prev + static_cast<SimTime>(delta);
     prev = event.time;
     const std::uint8_t type = in.byte();
     MEMFP_CHECK_LE(type, static_cast<int>(dram::MemEventType::kPageOffline))
-        << "trace store: invalid mem event type";
+        << "trace store: invalid mem event type" << context;
     event.type = static_cast<dram::MemEventType>(type);
     trace.events.push_back(event);
   }
 
   trace.suppressed_ce_count = in.varint();
   const std::uint8_t has_ue = in.byte();
-  MEMFP_CHECK_LE(has_ue, 1u) << "trace store: invalid UE flag";
+  MEMFP_CHECK_LE(has_ue, 1u) << "trace store: invalid UE flag" << context;
   if (has_ue) {
     dram::UeEvent ue;
     const std::uint64_t time = in.varint();
     MEMFP_CHECK_LE(time, static_cast<std::uint64_t>(
                              std::numeric_limits<SimTime>::max()))
-        << "trace store: UE timestamp overflows SimTime";
+        << "trace store: UE timestamp overflows SimTime" << context;
     ue.time = static_cast<SimTime>(time);
     ue.coord = decode_coord(in);
     ue.pattern = decode_pattern(in);
     const std::uint8_t prior = in.byte();
-    MEMFP_CHECK_LE(prior, 1u) << "trace store: invalid had_prior_ce flag";
+    MEMFP_CHECK_LE(prior, 1u)
+        << "trace store: invalid had_prior_ce flag" << context;
     ue.had_prior_ce = prior != 0;
     trace.ue = std::move(ue);
   }
   MEMFP_CHECK(in.exhausted())
       << "trace store: record carries " << payload.size() - in.position()
-      << " trailing bytes";
+      << " trailing bytes" << context;
   return trace;
 }
 
@@ -379,6 +397,8 @@ std::uint64_t ShardWriter::append(const DimmTrace& trace) {
   region_bytes_ += frame.size();
   out_.write(reinterpret_cast<const char*>(frame.data()),
              static_cast<std::streamsize>(frame.size()));
+  MEMFP_CHECK(out_.good())
+      << "trace store: append write failed on " << path_ << " (disk full?)";
 
   ++stats_.dimms;
   stats_.ce_records += trace.ces.size();
@@ -405,8 +425,14 @@ ShardStats ShardWriter::finish() {
   tail.insert(tail.end(), kFooterMagic, kFooterMagic + 8);
   out_.write(reinterpret_cast<const char*>(tail.data()),
              static_cast<std::streamsize>(tail.size()));
+  // Flush before close: buffered bytes hit the filesystem here, so a full
+  // disk fails this check (with the path) instead of surfacing as a
+  // checksum/footer mismatch at the next decode.
+  out_.flush();
+  MEMFP_CHECK(out_.good())
+      << "trace store: footer write failed on " << path_ << " (disk full?)";
   out_.close();
-  MEMFP_CHECK(out_.good()) << "trace store: write failed on " << path_;
+  MEMFP_CHECK(out_.good()) << "trace store: close failed on " << path_;
 
   stats_.file_bytes = index_offset + tail.size();
   return stats_;
@@ -416,7 +442,7 @@ ShardStats ShardWriter::finish() {
 // TraceReader
 // ---------------------------------------------------------------------------
 
-TraceReader::TraceReader(const std::string& path) {
+TraceReader::TraceReader(const std::string& path) : path_(path) {
   std::ifstream in(path, std::ios::binary);
   MEMFP_CHECK(in.good()) << "trace store: cannot open " << path;
   std::vector<std::uint8_t> file(
@@ -484,12 +510,16 @@ TraceReader::TraceReader(const std::string& path) {
 }
 
 DimmTrace TraceReader::read_dimm(std::size_t index) const {
-  MEMFP_CHECK_LT(index, records_.size());
+  MEMFP_CHECK_LT(index, records_.size())
+      << "trace store: record index out of range in " << path_;
   const auto [offset, length] = records_[index];
+  char context[288];
+  std::snprintf(context, sizeof(context), " in %s (record %zu)", path_.c_str(),
+                index);
   return decode_dimm_record(
       std::span<const std::uint8_t>(region_).subspan(
           static_cast<std::size_t>(offset), static_cast<std::size_t>(length)),
-      platform_);
+      platform_, context);
 }
 
 // ---------------------------------------------------------------------------

@@ -26,6 +26,7 @@
 #include <fstream>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -72,8 +73,11 @@ void encode_dimm_record(const DimmTrace& trace, std::vector<std::uint8_t>& out);
 
 /// Decodes one payload produced by encode_dimm_record. The whole span must be
 /// consumed exactly; any truncation or garbage dies with MEMFP_CHECK.
+/// `context` is appended verbatim to every diagnostic (TraceReader passes
+/// " in <shard path> (record <i>)"), so a corrupt shard names itself.
 DimmTrace decode_dimm_record(std::span<const std::uint8_t> payload,
-                             dram::Platform platform);
+                             dram::Platform platform,
+                             std::string_view context = {});
 
 /// Canonical content hash of one DIMM trace: FNV-1a over its encoded payload.
 /// Both the resident and the decoded-from-disk representation of the same
@@ -142,11 +146,14 @@ class TraceReader {
   SimTime horizon() const { return horizon_; }
   std::size_t dimm_count() const { return records_.size(); }
   std::uint64_t file_bytes() const { return file_bytes_; }
+  const std::string& path() const { return path_; }
 
-  /// Decodes the index-th record of the shard. Thread-safe.
+  /// Decodes the index-th record of the shard. Thread-safe. Decode
+  /// diagnostics carry the shard path and record index.
   DimmTrace read_dimm(std::size_t index) const;
 
  private:
+  std::string path_;
   dram::Platform platform_ = dram::Platform::kIntelPurley;
   SimTime horizon_ = 0;
   std::uint64_t file_bytes_ = 0;

@@ -1,9 +1,11 @@
-// Unit tests for the shared bench helpers (bench/bench_common.h) — in
-// particular the nearest-rank percentile that every trajectory file's
-// p50/p95/p99 columns are computed with. A wrong rank here would silently
-// skew every recorded latency number.
+// Unit tests for the shared bench helpers (bench/bench_common.h) — the
+// nearest-rank percentile that every trajectory file's p50/p95/p99 columns
+// are computed with, and the JsonEmitter all the BENCH_*.json legs write
+// through. A wrong rank or a malformed document here would silently skew
+// or break every recorded trajectory.
 #include "bench_common.h"
 
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -46,6 +48,105 @@ TEST(BenchPercentile, SummaryMatchesPointQueries) {
   const LatencySummary empty = summarize_latencies({});
   EXPECT_EQ(empty.p50, 0.0);
   EXPECT_EQ(empty.p99, 0.0);
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("purley DIMM 0x1f"), "purley DIMM 0x1f");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("\r\t"), "\\r\\t");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonEmitter, EmitsStableKeyOrderAndTypes) {
+  JsonEmitter json;
+  json.begin_object();
+  json.field("name", "fleet \"A\"");
+  json.field("ok", true);
+  json.field("seconds", 1.2345);           // default precision 2
+  json.field("events_per_sec", 1234.25, 0); // explicit precision
+  json.field("shards", static_cast<std::size_t>(61));
+  json.begin_array("points");
+  json.begin_object();
+  json.field("dimms", 10000);
+  json.end_object();
+  json.begin_object();
+  json.field("dimms", 100000);
+  json.end_object();
+  json.end_array();
+  json.begin_array("empty");
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"name\": \"fleet \\\"A\\\"\",\n"
+            "  \"ok\": true,\n"
+            "  \"seconds\": 1.23,\n"
+            "  \"events_per_sec\": 1234,\n"
+            "  \"shards\": 61,\n"
+            "  \"points\": [\n"
+            "    {\n"
+            "      \"dimms\": 10000\n"
+            "    },\n"
+            "    {\n"
+            "      \"dimms\": 100000\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty\": []\n"
+            "}\n");
+}
+
+TEST(JsonEmitter, IntegersStayExact) {
+  // 2^53 + 1 is not representable as a double; the integer overloads must
+  // not round-trip through one.
+  JsonEmitter json;
+  json.begin_object();
+  json.field("events", 9007199254740993ULL);
+  json.end_object();
+  EXPECT_NE(json.str().find("9007199254740993"), std::string::npos);
+}
+
+TEST(JsonEmitter, ContextHeaderHasFixedKeyPrefix) {
+  JsonEmitter json;
+  json.begin_object();
+  emit_context(json);
+  json.end_object();
+  const std::string& doc = json.str();
+  const auto generated = doc.find("\"generated_by\": \"tools/run_benches.sh\"");
+  const auto scale = doc.find("\"bench_scale\": ");
+  const auto cpus = doc.find("\"num_cpus\": ");
+  ASSERT_NE(generated, std::string::npos);
+  ASSERT_NE(scale, std::string::npos);
+  ASSERT_NE(cpus, std::string::npos);
+  EXPECT_LT(generated, scale);
+  EXPECT_LT(scale, cpus);
+}
+
+TEST(JsonEmitterDeathTest, UnbalancedDocumentsAbort) {
+  EXPECT_DEATH(
+      {
+        JsonEmitter json;
+        json.begin_object();
+        (void)json.str();  // unclosed frame
+      },
+      "unclosed frame");
+  EXPECT_DEATH(
+      {
+        JsonEmitter json;
+        json.field("orphan", 1);  // field outside any frame
+      },
+      "outside any frame");
+  EXPECT_DEATH(
+      {
+        JsonEmitter json;
+        json.end_object();  // close without open
+      },
+      "close without open");
 }
 
 }  // namespace

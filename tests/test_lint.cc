@@ -492,7 +492,7 @@ TEST(LintLayering, SilentOnDownwardAndSanctionedLateralIncludes) {
     #include "ml/model.h"
   )cc")
                   .empty());
-  // The three sanctioned lateral edges.
+  // The four sanctioned lateral edges.
   EXPECT_TRUE(
       rules_found("src/features/x.cc", "#include \"sim/trace.h\"\n")
           .empty());
@@ -501,6 +501,36 @@ TEST(LintLayering, SilentOnDownwardAndSanctionedLateralIncludes) {
           .empty());
   EXPECT_TRUE(
       rules_found("src/mlops/x.cc", "#include \"core/pipeline.h\"\n").empty());
+  EXPECT_TRUE(
+      rules_found("src/core/x.cc", "#include \"mlops/alarm.h\"\n").empty());
+}
+
+TEST(LintLayering, CampaignEngineEdgesAreSanctioned) {
+  // The campaign engine's include shape: core reaching down to sim/ml and
+  // laterally into mlops for the policy-accounting headers must all pass.
+  EXPECT_TRUE(rules_found("src/core/campaign.cc", R"cc(
+    #include "core/campaign.h"
+    #include "core/stage_cache.h"
+    #include "ml/metrics.h"
+    #include "mlops/alarm.h"
+    #include "sim/dimm_sim.h"
+    #include "sim/page_offline.h"
+    #include "sim/trace_store.h"
+  )cc")
+                  .empty());
+}
+
+TEST(LintLayering, CoreMlopsEdgeDoesNotOpenTheWholeLayer) {
+  // core->mlops is sanctioned; the other sibling pairs in layer 4 are not.
+  const auto violations =
+      lint_source("src/baseline/x.cc", "#include \"mlops/alarm.h\"\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "layering");
+  EXPECT_NE(violations[0].message.find("core->mlops"), std::string::npos);
+  EXPECT_EQ(
+      lint_source("src/mlops/x.cc", "#include \"baseline/risky_ce_pattern.h\"\n")
+          .size(),
+      1u);
 }
 
 TEST(LintLayering, FiresOnUnknownModule) {

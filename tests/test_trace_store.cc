@@ -296,6 +296,77 @@ TEST(TraceStoreDeathTest, OversizeFrameLengthRejected) {
   std::remove(path.c_str());
 }
 
+TEST(TraceStoreDeathTest, DiagnosticsNameTheShardFile) {
+  // Which shard of a thousand-file fleet store died used to be guesswork:
+  // reader diagnostics must carry the offending path.
+  const std::string path = shard_path(temp_dir(), 5);
+  {
+    ShardWriter writer(path, dram::Platform::kIntelPurley, days(10));
+    writer.append(sparse_trace());
+    writer.finish();
+  }
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 9);
+  EXPECT_DEATH({ TraceReader reader(path); }, "shard-00005\\.mft");
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreDeathTest, DecodeContextNamesPathAndRecord) {
+  // The per-record decode context (" in <path> (record N)") reaches the
+  // cursor-level checks, so a payload that dies mid-field still reports
+  // which record of which shard it came from.
+  const std::vector<std::uint8_t> garbage = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                             0xff, 0xff, 0xff, 0xff, 0x01};
+  EXPECT_DEATH(
+      decode_dimm_record({garbage.data(), garbage.size()},
+                         dram::Platform::kIntelPurley,
+                         " in shard-00042.mft (record 7)"),
+      "in shard-00042\\.mft \\(record 7\\)");
+}
+
+TEST(TraceStoreDeathTest, WriterRejectsUnopenablePath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "memfp_no_such_dir" /
+       "shard-00000.mft")
+          .string();
+  std::filesystem::remove_all(
+      std::filesystem::temp_directory_path() / "memfp_no_such_dir");
+  EXPECT_DEATH(ShardWriter(path, dram::Platform::kIntelPurley, days(10)),
+               "cannot open .*shard-00000\\.mft");
+}
+
+TEST(TraceStoreDeathTest, WriterChecksStreamStateOnAppend) {
+  // Full-disk regression: a failing write used to pass silently and only
+  // surface as a checksum mismatch at the next decode. /dev/full opens fine
+  // but fails every flush with ENOSPC, so appending past the stream buffer
+  // must die at the append-side check, naming the path.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  EXPECT_DEATH(
+      {
+        ShardWriter writer("/dev/full", dram::Platform::kIntelPurley,
+                           days(10));
+        for (int i = 0; i < 256; ++i) writer.append(storm_heavy_trace());
+      },
+      "append write failed on /dev/full");
+}
+
+TEST(TraceStoreDeathTest, WriterChecksStreamStateOnFinish) {
+  // finish() flushes before close, so even a shard whose appends all fit in
+  // the stream buffer reports the full disk here — with the path — instead
+  // of handing back a truncated file.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  EXPECT_DEATH(
+      {
+        ShardWriter writer("/dev/full", dram::Platform::kIntelPurley,
+                           days(10));
+        writer.finish();
+      },
+      "footer write failed on /dev/full");
+}
+
 TEST(TraceStoreShard, ListShardsNumericOrderBeyondPadding) {
   // Past 99,999 shards the %05zu names widen, where lexicographic order
   // puts shard-100000 before shard-99999; the listing must sort by the

@@ -19,9 +19,10 @@
 #                    with every kernel pinned to the scalar table
 #   leg 6  bench     bench_micro smoke run (tracked benches execute with
 #                    minimal iterations, so bench binaries can't bit-rot)
-#                    plus tiny-scale bench_fleet and bench_serving passes
-#                    (sharded driver spill→stream→score and the batched
-#                    serving engine end to end)
+#                    plus tiny-scale bench_fleet, bench_serving and
+#                    bench_campaign passes (sharded driver spill→stream→
+#                    score, the batched serving engine, and the shared-vs-
+#                    naive campaign sweep with its hash identity check)
 #   leg 7  tidy      clang-tidy over src/ (advisory; skipped when the
 #                    binary is not installed)
 #
@@ -120,6 +121,11 @@ run_bench() {
   # store-backed sweeps and both storm admission runs) at toy scale.
   cmake --build "$dir" -j "$JOBS" --target bench_serving
   MEMFP_BENCH_SCALE=0.02 "$dir/bench/bench_serving" > /dev/null
+  # Campaign smoke: the full 48-point sweep shared and naive at toy scale —
+  # the bench aborts if the two campaign hashes diverge, so this doubles as
+  # a byte-identity check on the stage cache.
+  cmake --build "$dir" -j "$JOBS" --target bench_campaign
+  MEMFP_BENCH_SCALE=0.05 "$dir/bench/bench_campaign" > /dev/null
 }
 
 run_tidy() {

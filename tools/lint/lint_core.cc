@@ -610,10 +610,16 @@ const std::map<std::string, int, std::less<>>& module_layers() {
 const std::set<std::pair<std::string, std::string>>& lateral_edges() {
   // features->sim: DimmTrace is the shared telemetry shape both layers
   // speak. core->baseline: the pipeline evaluates the heuristic baseline.
-  // mlops->core: CI/CD drives the experiment pipeline. All three point
-  // "sideways" within a layer and keep the module graph acyclic.
+  // mlops->core: CI/CD drives the experiment pipeline. core->mlops: the
+  // campaign engine consumes mlops policy accounting header-inline (the
+  // link graph stays acyclic: memfp_mlops links memfp_core, never the
+  // reverse). The mlops<->core pair is cyclic at module granularity by
+  // design; find_include_cycles still rejects any file-level cycle.
   static const std::set<std::pair<std::string, std::string>> kEdges = {
-      {"features", "sim"}, {"core", "baseline"}, {"mlops", "core"}};
+      {"features", "sim"},
+      {"core", "baseline"},
+      {"mlops", "core"},
+      {"core", "mlops"}};
   return kEdges;
 }
 
@@ -667,7 +673,7 @@ void rule_layering(Linter& lint) {
                       " have no sanctioned edge in the module DAG (" +
                       dag_spelling() +
                       "); sanctioned lateral edges: features->sim, "
-                      "core->baseline, mlops->core");
+                      "core->baseline, mlops->core, core->mlops");
     }
   }
 }

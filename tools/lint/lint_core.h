@@ -39,8 +39,10 @@
 //                        common <- dram <- {sim, features} <- ml
 //                               <- {core, mlops, baseline}
 //                    a file may include its own module and strictly lower
-//                    layers (plus the three sanctioned lateral edges:
-//                    features->sim, core->baseline, mlops->core). Upward
+//                    layers (plus the four sanctioned lateral edges:
+//                    features->sim, core->baseline, mlops->core and
+//                    core->mlops, the last header-only — memfp_mlops links
+//                    memfp_core, never the reverse). Upward
 //                    or unsanctioned sibling includes, unknown modules and
 //                    include cycles are violations; cycle reports carry
 //                    the offending include chain (scope: src/)

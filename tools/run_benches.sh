@@ -35,6 +35,15 @@
 #                       admission on/off comparison — rerun after changes
 #                       to src/mlops/serving.* or src/features/window_*.
 #                       Written by bench_serving itself.
+#   BENCH_campaign.json campaign engine: a 48-point fault × ECC × predictor
+#                       × policy sweep run through the content-addressed
+#                       stage cache vs the naive per-config pipeline at the
+#                       same thread count — records per-stage execution
+#                       counts, the wall-clock speedup and the matched
+#                       campaign hash (the two paths are byte-identical) —
+#                       rerun after changes to src/core/campaign.* or
+#                       src/core/stage_cache.*. Written by bench_campaign
+#                       itself.
 # Each file records the baseline, the current numbers, and the speedup.
 # The sanitizer refusal below covers every emitted file, BENCH_fleet.json
 # included: instrumented builds never record numbers.
@@ -303,3 +312,7 @@ python3 -c "import json,sys; print(json.dumps(json.load(open(sys.argv[1]))['poin
 cmake --build "$BUILD" -j --target bench_serving
 "$BUILD/bench/bench_serving" "$ROOT/BENCH_serving.json" >&2
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); print(json.dumps({'points': d['points'], 'storm': d['storm']}, indent=2))" "$ROOT/BENCH_serving.json"
+
+cmake --build "$BUILD" -j --target bench_campaign
+"$BUILD/bench/bench_campaign" "$ROOT/BENCH_campaign.json" >&2
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); print(json.dumps({'naive': d['naive'], 'shared': d['shared'], 'speedup': d['speedup']}, indent=2))" "$ROOT/BENCH_campaign.json"
